@@ -1,0 +1,57 @@
+"""E2 — §IV-B: ADPCM code size, cycle and execution-time overheads.
+
+Paper values: text 6,976 -> 16,816 bytes (2.41x); 114,188,673 ->
+130,840,013 cycles (+13.7 %); total execution time +110 %.
+
+The simulator input is a synthetic PCM clip (DESIGN.md substitution), so
+absolute byte/cycle counts differ; the assertions pin the *shape*: ~2-3x
+code, a small-double-digit cycle overhead under the calibrated LEON3
+timing, and a total overhead dominated by the cipher's clock penalty.
+"""
+
+from repro.eval import experiment_adpcm
+from repro.isa import assemble
+from repro.sim import LEON3_MINIMAL_TIMING, SofiaMachine, VanillaMachine
+from repro.transform import transform
+from repro.workloads import make_workload
+
+
+def test_adpcm_overheads(benchmark):
+    comparison = benchmark.pedantic(experiment_adpcm,
+                                    kwargs={"scale": "small"},
+                                    iterations=1, rounds=1)
+    print()
+    print(comparison.render())
+    row = comparison.measured
+    assert 1.7 < row.size_ratio < 3.2          # paper: 2.41x
+    assert 0.05 < row.cycle_overhead < 0.45    # paper: +13.7 %
+    assert 0.9 < row.exec_time_overhead < 1.7  # paper: +110 %
+    # the crossover structure: clock penalty dominates cycle penalty
+    assert row.exec_time_overhead > 4 * row.cycle_overhead
+    benchmark.extra_info.update({
+        "size_ratio": round(row.size_ratio, 3),
+        "cycle_overhead": round(row.cycle_overhead, 4),
+        "exec_time_overhead": round(row.exec_time_overhead, 4),
+    })
+
+
+def test_adpcm_vanilla_simulation_speed(benchmark, keys):
+    workload = make_workload("adpcm", scale="tiny")
+    exe = assemble(workload.compile().program)
+
+    def run():
+        return VanillaMachine(exe, LEON3_MINIMAL_TIMING).run()
+
+    result = benchmark(run)
+    assert result.output_ints == workload.expected_output
+
+
+def test_adpcm_sofia_simulation_speed(benchmark, keys):
+    workload = make_workload("adpcm", scale="tiny")
+    image = transform(workload.compile().program, keys, nonce=0xE2)
+
+    def run():
+        return SofiaMachine(image, keys, LEON3_MINIMAL_TIMING).run()
+
+    result = benchmark(run)
+    assert result.output_ints == workload.expected_output

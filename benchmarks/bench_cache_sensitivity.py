@@ -1,0 +1,43 @@
+"""E14 (extension) — I-cache sensitivity of SOFIA's cycle overhead.
+
+The paper evaluates one minimal LEON3 configuration.  Because the
+transformed binary is ~2x larger, its working set crosses I-cache capacity
+earlier than the vanilla binary's.  The measured shape is a *peak*, not a
+slope: with a tiny cache both binaries thrash (overhead is just the extra
+words fetched); at the crossover size the vanilla working set fits while
+the protected one still misses — overhead maxes out; with a large cache
+both fit and the overhead converges to the pure fetch-slot cost.
+"""
+
+from repro.eval import experiment_cache, render_cache
+
+
+def test_cache_sensitivity_peaks_at_the_crossover(benchmark):
+    points = benchmark.pedantic(
+        experiment_cache,
+        kwargs={"scale": "tiny", "line_counts": (8, 32, 128, 512),
+                "workload": "adpcm"},
+        iterations=1, rounds=1)
+    print()
+    print(render_cache(points))
+    overheads = [p.row.cycle_overhead for p in points]
+    peak = max(overheads)
+    peak_index = overheads.index(peak)
+    # the worst case sits at an intermediate size, not at either extreme
+    assert 0 < peak_index < len(overheads) - 1
+    # beyond the peak the overhead decreases monotonically
+    tail = overheads[peak_index:]
+    assert tail == sorted(tail, reverse=True)
+    # and converging caches approach the fetch-slot floor
+    assert overheads[-1] < peak * 0.6
+
+
+def test_vanilla_also_benefits_from_cache(benchmark):
+    points = benchmark.pedantic(
+        experiment_cache,
+        kwargs={"scale": "tiny", "line_counts": (8, 512),
+                "workload": "fir"},
+        iterations=1, rounds=1)
+    small, large = points
+    assert large.row.vanilla_cycles <= small.row.vanilla_cycles
+    assert large.row.sofia_cycles <= small.row.sofia_cycles

@@ -1,0 +1,72 @@
+"""E13 (extension) — compiler-quality sensitivity of SOFIA's overheads.
+
+The paper's numbers were taken with Gaisler's production C compiler; our
+baseline minicc emits naive accumulator code.  The push/pop peephole pass
+closes part of that gap (22–31 % fewer baseline cycles).  This bench
+measures how SOFIA's *relative* overheads shift with compiler quality —
+better code has fewer memory stalls to hide the MAC fetch slots in, so the
+protected/unprotected ratio grows: overhead numbers always embed the
+baseline compiler, a caveat for comparing CFI schemes across papers.
+"""
+
+from repro.cc import compile_source
+from repro.crypto import DeviceKeys
+from repro.isa import assemble
+from repro.sim import LEON3_MINIMAL_TIMING, SofiaMachine, VanillaMachine
+from repro.transform import transform
+from repro.workloads import make_workload
+
+KEYS = DeviceKeys.from_seed(0xE13)
+
+
+def _overhead(program, nonce):
+    vanilla = VanillaMachine(assemble(program), LEON3_MINIMAL_TIMING).run()
+    image = transform(program, KEYS, nonce=nonce)
+    sofia = SofiaMachine(image, KEYS, LEON3_MINIMAL_TIMING).run()
+    assert vanilla.output_ints == sofia.output_ints
+    return vanilla.cycles, sofia.cycles
+
+
+def test_compiler_quality_vs_sofia_overhead(benchmark):
+    def measure():
+        rows = []
+        for name in ("adpcm", "crc32", "sort"):
+            workload = make_workload(name, "tiny")
+            naive = compile_source(workload.c_source)
+            opt = compile_source(workload.c_source, optimize=True)
+            v_n, s_n = _overhead(naive.program, 21)
+            v_o, s_o = _overhead(opt.program, 22)
+            rows.append((name, v_n, s_n, v_o, s_o))
+        return rows
+
+    rows = benchmark.pedantic(measure, iterations=1, rounds=1)
+    print()
+    print(f"{'workload':<10s} {'naive ovh':>10s} {'optimized ovh':>14s} "
+          f"{'baseline speedup':>17s}")
+    for name, v_n, s_n, v_o, s_o in rows:
+        ovh_n = s_n / v_n - 1
+        ovh_o = s_o / v_o - 1
+        print(f"{name:<10s} {ovh_n:>+9.1%} {ovh_o:>+13.1%} "
+              f"{1 - v_o / v_n:>16.1%}")
+        # optimization helps both cores in absolute terms
+        assert v_o < v_n and s_o < s_n
+    # the structural claim: relative SOFIA overhead does not shrink when
+    # the baseline compiler improves (less stall slack to hide MAC words)
+    for name, v_n, s_n, v_o, s_o in rows:
+        assert (s_o / v_o) >= (s_n / v_n) * 0.95
+
+
+def test_optimizer_effect_sizes(benchmark):
+    workload = make_workload("adpcm", "tiny")
+
+    def both():
+        naive = compile_source(workload.c_source)
+        opt = compile_source(workload.c_source, optimize=True)
+        return naive, opt
+
+    naive, opt = benchmark.pedantic(both, iterations=1, rounds=1)
+    removed = (len(naive.program.instructions)
+               - len(opt.program.instructions))
+    print(f"\nADPCM: {opt.optimize_stats.pairs_rewritten} push/pop pairs "
+          f"rewritten, {removed} instructions removed")
+    assert removed >= 40

@@ -1,0 +1,48 @@
+"""E11 (extension) — fault-injection campaign (paper §V future work).
+
+The paper plans to "test the architecture's resistance to fault-based
+attacks"; this bench runs that study on the functional model.  Claims
+under test: faults on the protected surface (stored code, fetched words,
+the PC) are detected or masked — never silent data corruption; faults on
+the unprotected surface (registers, a glitched comparator paired with a
+tamper) can still corrupt silently, delimiting the guarantee.
+"""
+
+from repro.crypto import DeviceKeys
+from repro.faults import FaultOutcome, run_campaign
+from repro.workloads import make_workload
+
+KEYS = DeviceKeys.from_seed(0xE11)
+
+
+def test_fault_campaign(benchmark):
+    workload = make_workload("crc32", "tiny")
+
+    def campaign():
+        return run_campaign(workload.compile().program, KEYS,
+                            workload.expected_output, per_model=15,
+                            seed=2016)
+
+    results, summary = benchmark.pedantic(campaign, iterations=1, rounds=1)
+    print()
+    print(summary.render())
+
+    protected = ("CodeBitFlip", "FetchGlitch", "PCGlitch")
+    for model in protected:
+        assert summary.rate(model, FaultOutcome.SDC) == 0.0, model
+
+    # PC glitches on an encrypted binary are essentially always detected
+    assert summary.rate("PCGlitch", FaultOutcome.DETECTED) > 0.8
+
+    # the unprotected surface is where SDC can appear (register faults)
+    # and where glitch-assisted tampers can slip one block through
+    unprotected_sdc = (
+        summary.rate("RegisterFault", FaultOutcome.SDC)
+        + summary.rate("CombinedFault", FaultOutcome.SDC)
+        + summary.rate("CombinedFault", FaultOutcome.CRASHED)
+        + summary.rate("CombinedFault", FaultOutcome.DETECTED))
+    assert unprotected_sdc > 0.0
+
+    for outcome in FaultOutcome:
+        benchmark.extra_info[f"pc_{outcome.value}"] = summary.rate(
+            "PCGlitch", outcome)

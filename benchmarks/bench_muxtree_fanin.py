@@ -1,0 +1,40 @@
+"""E7 — Figs. 7/8/9: multiplexor blocks and trees vs predecessor fan-in.
+
+Fig. 9 shows a function reached by four callers through a tree of
+multiplexor nodes.  This bench sweeps the fan-in and checks the tree
+algebra: k callers need exactly k-1 multiplexor blocks (tree forwarders +
+the target's own mux block), and every caller still reaches the function
+correctly at run time (the experiment runner asserts execution succeeds).
+"""
+
+from repro.eval import experiment_muxtree, render_muxtree
+
+
+def test_muxtree_fanin_sweep(benchmark):
+    points = benchmark.pedantic(
+        experiment_muxtree, kwargs={"fan_ins": (1, 2, 4, 8, 16, 32)},
+        iterations=1, rounds=1)
+    print()
+    print(render_muxtree(points))
+    by_fanin = {p.fan_in: p for p in points}
+    assert by_fanin[1].mux_blocks == 0          # single caller: exec entry
+    assert by_fanin[2].mux_blocks == 1          # Fig. 7/8: one mux block
+    assert by_fanin[4].tree_nodes == 2          # Fig. 9: T1, T2
+    for k in (2, 4, 8, 16, 32):
+        assert by_fanin[k].mux_blocks == k - 1
+    # code size grows linearly in fan-in (each caller adds a call block
+    # + a return block + its share of the tree)
+    sizes = [p.code_bytes for p in points]
+    assert sizes == sorted(sizes)
+
+
+def test_deep_tree_cycles_grow_linearly(benchmark):
+    points = benchmark.pedantic(
+        experiment_muxtree, kwargs={"fan_ins": (2, 16)},
+        iterations=1, rounds=1)
+    shallow, deep = points
+    cycles_per_call_shallow = shallow.cycles / shallow.fan_in
+    cycles_per_call_deep = deep.cycles / deep.fan_in
+    # tree hops add per-call cost, bounded by the tree depth (log k)
+    assert cycles_per_call_deep > cycles_per_call_shallow
+    assert cycles_per_call_deep < cycles_per_call_shallow * 4

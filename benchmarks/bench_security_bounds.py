@@ -1,0 +1,50 @@
+"""E3/E4/E9 — §IV-A security bounds + Monte-Carlo forgery scaling.
+
+Paper values: SI online forgery 46,795 years; CFI attack 93,590 years
+(64-bit MAC, 8-cycle attempts, 50 MHz).
+"""
+
+from repro.eval import experiment_security
+from repro.security import (cfi_attack_years, forgery_scaling,
+                            si_forgery_years, tamper_detection)
+
+
+def test_paper_bounds(benchmark):
+    def both():
+        return si_forgery_years(), cfi_attack_years()
+
+    si, cfi = benchmark(both)
+    print()
+    print(f"SI  online forgery: {si:,.0f} years (paper: 46,795)")
+    print(f"CFI online attack:  {cfi:,.0f} years (paper: 93,590)")
+    assert abs(si - 46_795) < 2
+    assert abs(cfi - 93_590) < 4
+
+
+def test_forgery_scaling_follows_2_to_n_minus_1(benchmark):
+    results = benchmark.pedantic(
+        forgery_scaling, kwargs={"bits_list": (4, 6, 8, 10), "experiments": 150},
+        iterations=1, rounds=1)
+    print()
+    for r in results:
+        print(f"  {r.bits:2d}-bit MAC: mean {r.mean_trials:8.1f} trials "
+              f"(expected {r.expected_trials:8.1f}, ratio {r.ratio:.2f})")
+    for r in results:
+        assert 0.7 < r.ratio < 1.4
+
+
+def test_tamper_escape_rate(benchmark):
+    escape = benchmark.pedantic(tamper_detection,
+                                kwargs={"bits": 6, "tampers": 2000},
+                                iterations=1, rounds=1)
+    print(f"\n6-bit MAC escape rate {escape.escape_rate:.4f} "
+          f"(expected {escape.expected_rate:.4f})")
+    assert abs(escape.escape_rate - escape.expected_rate) < 0.03
+
+
+def test_full_security_experiment(benchmark):
+    exp = benchmark.pedantic(experiment_security,
+                             kwargs={"experiments": 60},
+                             iterations=1, rounds=1)
+    print()
+    print(exp.render())

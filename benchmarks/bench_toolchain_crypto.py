@@ -1,0 +1,65 @@
+"""Microbenchmarks of the substrates: cipher, MAC, transformer, compiler.
+
+Not a paper artifact — engineering telemetry for the reproduction itself
+(how fast is RECTANGLE in Python, how long does protecting a binary take),
+useful when scaling workloads up.
+"""
+
+from repro.cc import compile_source
+from repro.crypto import EdgeKeystream, Rectangle80, cbc_mac
+from repro.isa import assemble
+from repro.transform import transform
+from repro.workloads import make_workload
+
+
+def test_rectangle_encrypt(benchmark):
+    cipher = Rectangle80(0x0123456789ABCDEF0123)
+    out = benchmark(cipher.encrypt, 0xDEADBEEFCAFEF00D)
+    assert cipher.decrypt(out) == 0xDEADBEEFCAFEF00D
+
+
+def test_rectangle_key_schedule(benchmark):
+    benchmark(Rectangle80, 0xA5A5A5A5A5A5A5A5A5A5)
+
+
+def test_present_encrypt(benchmark):
+    from repro.crypto import Present80
+    cipher = Present80(0x0123456789ABCDEF0123)
+    out = benchmark(cipher.encrypt, 0xDEADBEEFCAFEF00D)
+    assert cipher.decrypt(out) == 0xDEADBEEFCAFEF00D
+
+
+def test_cbc_mac_six_words(benchmark):
+    cipher = Rectangle80(42)
+    words = [0x11111111, 0x22222222, 0x33333333,
+             0x44444444, 0x55555555, 0x66666666]
+    mac = benchmark(cbc_mac, cipher, words)
+    assert mac == cbc_mac(cipher, words)
+
+
+def test_edge_keystream_memoized(benchmark, keys):
+    ks = EdgeKeystream(keys.encryption_cipher, nonce=1)
+    ks.keystream(0x100, 0x104)  # warm the edge
+
+    def hot():
+        return ks.keystream(0x100, 0x104)
+
+    assert benchmark(hot) == ks.keystream(0x100, 0x104)
+
+
+def test_compile_adpcm(benchmark):
+    source = make_workload("adpcm", "tiny").c_source
+    compiled = benchmark(compile_source, source)
+    assert compiled.program.instructions
+
+
+def test_assemble_adpcm(benchmark):
+    program = make_workload("adpcm", "tiny").compile().program
+    exe = benchmark(assemble, program)
+    assert exe.code_words
+
+
+def test_transform_adpcm(benchmark, keys):
+    program = make_workload("adpcm", "tiny").compile().program
+    image = benchmark(transform, program, keys, 0x70)
+    assert image.num_blocks > 10

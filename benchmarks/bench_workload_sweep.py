@@ -1,0 +1,36 @@
+"""E10 (extension) — per-workload overhead table across all five workloads.
+
+Generalizes §IV-B beyond ADPCM: code-size, cycle and execution-time
+overheads for CRC-32, FIR, sorting and matrix multiply, under both the
+calibrated LEON3-minimal timing and the aggressive low-CPI baseline.
+"""
+
+from repro.eval import experiment_workloads, format_overhead_rows
+from repro.sim import DEFAULT_TIMING, LEON3_MINIMAL_TIMING
+
+
+def test_workload_sweep_calibrated(benchmark):
+    rows = benchmark.pedantic(
+        experiment_workloads,
+        kwargs={"scale": "tiny", "timing": LEON3_MINIMAL_TIMING},
+        iterations=1, rounds=1)
+    print("\nLEON3-minimal (calibrated) timing:")
+    print(format_overhead_rows(rows))
+    assert len(rows) == 8
+    for row in rows:
+        assert 1.5 < row.size_ratio < 3.5, row.workload
+        assert 0.0 < row.cycle_overhead < 0.8, row.workload
+        # clock penalty dominates: total overhead well above cycle overhead
+        assert row.exec_time_overhead > row.cycle_overhead + 0.5
+
+def test_workload_sweep_low_cpi_baseline(benchmark):
+    rows = benchmark.pedantic(
+        experiment_workloads,
+        kwargs={"scale": "tiny", "timing": DEFAULT_TIMING},
+        iterations=1, rounds=1)
+    print("\naggressive (low-CPI) baseline timing:")
+    print(format_overhead_rows(rows))
+    # a faster baseline makes SOFIA's fetch slots relatively costlier —
+    # the same structural effect the paper's slow LEON3 baseline hides
+    for row in rows:
+        assert row.cycle_overhead > 0

@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's per-experiment
+index and prints the same rows the paper reports (visible with
+``pytest benchmarks/ --benchmark-only -s``).  Shape assertions guard the
+qualitative claims — who wins, by roughly what factor — without pinning
+absolute simulator numbers.
+"""
+
+import pytest
+
+from repro.crypto import DeviceKeys
+
+
+@pytest.fixture(scope="session")
+def keys():
+    return DeviceKeys.from_seed(0xBEEF2016)

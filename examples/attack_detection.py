@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Safety-critical attack scenario: a vulnerable actuator controller.
+
+The victim (see ``repro.attacks.victim``) is a bare-metal controller with
+a classic unchecked-copy buffer overflow and a dormant ``privileged``
+routine that unlocks an actuator — the paper's motivating example is a
+store that disables a car's brakes (§II-B2).
+
+This example runs the full attack campaign — code injection, bit flips,
+encrypted-gadget relocation, block splicing, a ROP-style stack smash and a
+direct PC hijack — against four systems: the unprotected core, two ISR
+baselines from the literature, and SOFIA.
+"""
+
+from repro.attacks import (ATTACKS, Outcome, format_matrix, run_campaign,
+                           victim_program)
+from repro.isa import disassemble_word
+from repro.isa.assembler import assemble
+
+
+def main() -> None:
+    program = victim_program()
+    exe = assemble(program)
+    print(f"victim: {len(program.instructions)} instructions, "
+          f"{exe.code_size_bytes} bytes")
+    print("the privileged gadget:")
+    base = exe.symbols["privileged"]
+    for i in range(6):
+        word = exe.word_at(base + 4 * i)
+        print(f"  {base + 4 * i:08x}: {disassemble_word(word, base + 4 * i)}")
+    print()
+
+    print("attack catalogue:")
+    for attack in ATTACKS:
+        print(f"  {attack.name:<16s} [{attack.category:<10s}] "
+              f"{attack.description}")
+    print()
+
+    results = run_campaign()
+    print(format_matrix(results))
+    print()
+
+    hijacked = [(r.target, r.attack) for r in results
+                if r.outcome is Outcome.HIJACKED]
+    detected = [r.attack for r in results
+                if r.target == "sofia" and r.outcome is Outcome.DETECTED]
+    print(f"actuator compromised {len(hijacked)} times across the "
+          f"baselines; SOFIA deterministically detected "
+          f"{len(detected)}/{len(ATTACKS)} attacks before any store of a "
+          f"tampered block reached the memory stage.")
+    for r in results:
+        if r.target == "sofia":
+            print(f"  sofia vs {r.attack:<16s} -> {r.detail or r.status.value}")
+
+
+if __name__ == "__main__":
+    main()

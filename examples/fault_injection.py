@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Fault-attack study (the paper's §V future work) + full report.
+
+Runs the fault-injection campaign against a protected CRC-32 workload,
+prints the outcome matrix, demonstrates the one fault *attack* that can
+momentarily defeat SOFIA (a comparator glitch paired with a code tamper),
+and finally writes the complete evaluation report to
+``sofia_report.txt``.
+"""
+
+from repro.crypto import DeviceKeys
+from repro.eval import write_report
+from repro.faults import (CodeBitFlip, CombinedFault, FaultOutcome,
+                          VerifySkip, run_campaign, run_fault)
+from repro.transform import transform
+from repro.workloads import make_workload
+
+
+def main() -> None:
+    keys = DeviceKeys.from_seed(0xFA117)
+    workload = make_workload("crc32", scale="tiny")
+    program = workload.compile().program
+
+    print("fault-injection campaign (protected CRC-32, 12 faults/model):")
+    results, summary = run_campaign(program, keys,
+                                    workload.expected_output,
+                                    per_model=12, seed=42)
+    print(summary.render())
+    print()
+
+    protected = ("CodeBitFlip", "FetchGlitch", "PCGlitch")
+    sdc_free = all(summary.rate(m, FaultOutcome.SDC) == 0.0
+                   for m in protected)
+    print(f"protected surface (code/fetch/PC) SDC-free: {sdc_free}")
+    print("unprotected surface: register SEUs and glitched comparators "
+          "remain out of scope, e.g. the glitch-assisted tamper:")
+
+    image = transform(program, keys, nonce=0xFA17)
+    hot_word = image.code_base + image.block_bytes + 12
+    attack = CombinedFault(50, parts=(
+        VerifySkip(50),
+        CodeBitFlip(50, address=hot_word, bit=17),
+    ))
+    outcome = run_fault(image, keys, attack, workload.expected_output)
+    print(f"  comparator glitch + code flip -> {outcome.outcome.value} "
+          f"({outcome.detail or 'one tampered block slipped through'})")
+    print()
+
+    print("writing the full evaluation report to sofia_report.txt ...")
+    text = write_report("sofia_report.txt", scale="tiny",
+                        fault_samples=6, security_experiments=60)
+    print(f"done: {len(text.splitlines())} lines.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+Offline installs (no network for build dependencies) can use::
+
+    python setup.py develop
+
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

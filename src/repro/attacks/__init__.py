@@ -1,0 +1,18 @@
+"""Attack framework: victim, defenses, attack catalogue, campaign."""
+
+from .actions import ATTACKS, Attack
+from .harness import (AttackResult, Outcome, campaign_matrix, classify,
+                      format_matrix, run_attack, run_campaign,
+                      verify_benign)
+from .systems import Target, build_targets
+from .victim import (BENIGN_OUTPUT, BUFFER_WORDS, RA_SLOT, UNLOCK_VALUE,
+                     VICTIM_ASM, victim_program)
+
+__all__ = [
+    "Attack", "ATTACKS",
+    "AttackResult", "Outcome", "run_attack", "run_campaign",
+    "campaign_matrix", "format_matrix", "classify", "verify_benign",
+    "Target", "build_targets",
+    "victim_program", "VICTIM_ASM", "UNLOCK_VALUE", "BENIGN_OUTPUT",
+    "BUFFER_WORDS", "RA_SLOT",
+]

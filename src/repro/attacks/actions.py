@@ -1,0 +1,130 @@
+"""The attack catalogue: code injection, tampering, relocation, code reuse.
+
+Every attack is expressed against a :class:`~repro.attacks.systems.Target`
+through the interfaces a real attacker has in the paper's threat model —
+full control over program memory (``poke_code``), over input data, and
+(for the PC-hijack model of an exploited indirect branch) over one control
+transfer.  Attackers never see device keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..errors import ReproError
+from ..isa.encoding import encode
+from ..isa.instructions import Instruction
+from ..isa.program import MMIO_ACTUATOR
+from .victim import BUFFER_WORDS, RA_SLOT, UNLOCK_VALUE
+
+
+@dataclass(frozen=True)
+class Attack:
+    """One attack: a name, a category, and a memory/state mutation."""
+
+    name: str
+    category: str    # "injection" | "tamper" | "relocation" | "reuse"
+    description: str
+    apply: Callable[[object, "Target"], None]  # (machine, target) -> None
+
+
+def _gadget_words() -> List[int]:
+    """Plaintext encoding of an actuator-unlock gadget (5 words)."""
+    instructions = [
+        Instruction("lui", rd=12, imm=(MMIO_ACTUATOR >> 16) & 0xFFFF),
+        Instruction("ori", rd=12, rs1=12, imm=MMIO_ACTUATOR & 0xFFFF),
+        Instruction("lui", rd=13, imm=(UNLOCK_VALUE >> 16) & 0xFFFF),
+        Instruction("ori", rd=13, rs1=13, imm=UNLOCK_VALUE & 0xFFFF),
+        Instruction("sw", rs2=13, rs1=12, imm=0),
+    ]
+    return [encode(i) for i in instructions]
+
+
+def _symbol(target, name: str) -> int:
+    try:
+        return target.symbols[name]
+    except KeyError:
+        raise ReproError(
+            f"target {target.name!r} has no symbol {name!r}") from None
+
+
+def attack_bit_flip(machine, target) -> None:
+    """Flip one opcode bit inside the input-processing loop."""
+    address = _symbol(target, "copy_loop")
+    word = machine.memory.fetch_word(address)
+    machine.memory.poke_code(address, word ^ 0x80)
+
+
+def attack_inject_code(machine, target) -> None:
+    """Write a plaintext actuator-unlock gadget over the patch site."""
+    base = _symbol(target, "patch_site")
+    for offset, word in enumerate(_gadget_words()):
+        machine.memory.poke_code(base + 4 * offset, word)
+
+
+def attack_relocate_gadget(machine, target) -> None:
+    """Copy the *encrypted* privileged routine onto the benign path.
+
+    The copy granularity honours each defense's encryption unit: words for
+    vanilla/XOR, aligned pairs for ECB, whole blocks for SOFIA.  Position-
+    independent schemes (XOR, ECB) decrypt the relocated gadget correctly;
+    SOFIA's address-bound CTR keystream does not.
+    """
+    source = target.unit_base(_symbol(target, "privileged"))
+    destination = target.unit_base(_symbol(target, "patch_site"))
+    skew = (_symbol(target, "privileged") - source) // 4
+    words_to_copy = skew + 6  # cover the whole gadget body
+    units = -(-words_to_copy // target.relocation_unit)
+    for offset in range(0, 4 * units * target.relocation_unit, 4):
+        word = machine.memory.fetch_word(source + offset)
+        machine.memory.poke_code(destination + offset, word)
+
+
+def attack_splice_blocks(machine, target) -> None:
+    """Replay legitimate encrypted code at a different address."""
+    source = target.unit_base(_symbol(target, "process_input"))
+    destination = target.unit_base(_symbol(target, "patch_site"))
+    for offset in range(0, 4 * target.relocation_unit, 4):
+        word = machine.memory.fetch_word(source + offset)
+        machine.memory.poke_code(destination + offset, word)
+
+
+def attack_stack_smash(machine, target) -> None:
+    """ROP-style data-only attack: overflow the stack buffer so that the
+    saved return address becomes the privileged routine's entry."""
+    input_addr = _symbol(target, "input")
+    gadget = target.control_target(_symbol(target, "privileged"))
+    memory = machine.memory
+    memory.write_data_word(input_addr, RA_SLOT + 1)  # oversized length
+    for i in range(BUFFER_WORDS):
+        memory.write_data_word(input_addr + 4 * (1 + i), 0x41414141)
+    memory.write_data_word(input_addr + 4 * (1 + RA_SLOT - 1), 0x42424242)
+    memory.write_data_word(input_addr + 4 * (1 + RA_SLOT), gadget)
+
+
+def attack_pc_hijack(machine, target) -> None:
+    """Model of an exploited indirect branch: warp the PC to the gadget."""
+    machine.state.pc = target.control_target(_symbol(target, "privileged"))
+
+
+ATTACKS: List[Attack] = [
+    Attack("bit-flip", "tamper",
+           "flip one bit of an instruction word in program memory",
+           attack_bit_flip),
+    Attack("inject-code", "injection",
+           "overwrite benign code with a plaintext unlock gadget",
+           attack_inject_code),
+    Attack("relocate-gadget", "relocation",
+           "copy the encrypted privileged routine onto the benign path",
+           attack_relocate_gadget),
+    Attack("splice-blocks", "tamper",
+           "replay legitimate encrypted code at a different address",
+           attack_splice_blocks),
+    Attack("stack-smash", "reuse",
+           "overflow a stack buffer to redirect the return address",
+           attack_stack_smash),
+    Attack("pc-hijack", "reuse",
+           "divert control flow directly to the privileged routine",
+           attack_pc_hijack),
+]

@@ -1,0 +1,122 @@
+"""Attack campaign harness: run every attack against every defense.
+
+Outcome classification (the attacker's goal is the actuator write, the
+defender's goal is to prevent *any* effect of tampered code):
+
+``DETECTED``   the defense stopped the program deliberately (SOFIA reset)
+``CRASHED``    the attack derailed execution without a guarantee
+               (illegal-instruction trap, bus error) — typical for ISR
+``HIJACKED``   the actuator received the unlock value
+``CORRUPTED``  the program "completed" but produced wrong output
+``NO_EFFECT``  output identical to the benign run
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.result import Status
+from .actions import ATTACKS, Attack
+from .systems import Target, build_targets
+from .victim import BENIGN_OUTPUT, UNLOCK_VALUE, victim_program
+
+_MAX_INSTRUCTIONS = 200_000
+
+
+class Outcome(enum.Enum):
+    DETECTED = "detected"
+    CRASHED = "crashed"
+    HIJACKED = "hijacked"
+    CORRUPTED = "corrupted"
+    NO_EFFECT = "no-effect"
+
+
+@dataclass
+class AttackResult:
+    attack: str
+    category: str
+    target: str
+    outcome: Outcome
+    status: Status
+    detail: str = ""
+
+    @property
+    def prevented(self) -> bool:
+        """True when the defense deterministically stopped the attack."""
+        return self.outcome is Outcome.DETECTED
+
+
+def classify(result, benign_output: List[int]) -> Outcome:
+    mmio = result.mmio
+    if mmio is not None and UNLOCK_VALUE in mmio.actuator:
+        return Outcome.HIJACKED
+    if result.status is Status.RESET:
+        return Outcome.DETECTED
+    if result.status is Status.TRAP:
+        return Outcome.CRASHED
+    if result.output_ints != benign_output:
+        return Outcome.CORRUPTED
+    return Outcome.NO_EFFECT
+
+
+def run_attack(attack: Attack, target: Target,
+               benign_output: Optional[List[int]] = None) -> AttackResult:
+    """Apply one attack to a fresh instance of one target and classify."""
+    machine = target.make()
+    attack.apply(machine, target)
+    result = machine.run(max_instructions=_MAX_INSTRUCTIONS)
+    outcome = classify(result, benign_output or BENIGN_OUTPUT)
+    detail = ""
+    if result.violation is not None:
+        detail = str(result.violation)
+    elif result.trap_reason:
+        detail = result.trap_reason
+    return AttackResult(attack=attack.name, category=attack.category,
+                        target=target.name, outcome=outcome,
+                        status=result.status, detail=detail)
+
+
+def verify_benign(targets: List[Target]) -> None:
+    """Sanity check: every clean target produces the benign output."""
+    for target in targets:
+        result = target.make().run(max_instructions=_MAX_INSTRUCTIONS)
+        if result.output_ints != BENIGN_OUTPUT or not result.ok:
+            raise AssertionError(
+                f"clean run of {target.name} broken: {result.summary()} "
+                f"output={result.output_ints}")
+
+
+def run_campaign(seed: int = 1337) -> List[AttackResult]:
+    """The full matrix: every attack against every defense."""
+    targets = build_targets(victim_program(), seed=seed)
+    verify_benign(targets)
+    results = []
+    for attack in ATTACKS:
+        for target in targets:
+            results.append(run_attack(attack, target))
+    return results
+
+
+def campaign_matrix(results: List[AttackResult]) -> Dict[str, Dict[str, str]]:
+    """attack -> target -> outcome string (for table rendering)."""
+    matrix: Dict[str, Dict[str, str]] = {}
+    for r in results:
+        matrix.setdefault(r.attack, {})[r.target] = r.outcome.value
+    return matrix
+
+
+def format_matrix(results: List[AttackResult]) -> str:
+    """Render the campaign as the E8 text table."""
+    targets = sorted({r.target for r in results})
+    matrix = campaign_matrix(results)
+    width = max(len(t) for t in targets) + 2
+    name_width = max(len(a) for a in matrix) + 2
+    lines = ["".ljust(name_width) + "".join(t.ljust(width + 8) for t in targets)]
+    for attack in matrix:
+        row = attack.ljust(name_width)
+        for target in targets:
+            row += matrix[attack].get(target, "-").ljust(width + 8)
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""The victim program used by the attack campaign.
+
+A small bare-metal "controller" with the classic safety-critical shape the
+paper motivates (§II-B2):
+
+* ``main`` processes attacker-controllable input and prints a benign
+  status value;
+* ``process_input`` copies a length-prefixed word array from the ``input``
+  global into a fixed 4-word stack buffer **without a bounds check** — the
+  memory-corruption vulnerability;
+* ``privileged`` writes an unlock value to the actuator MMIO port.  No
+  legitimate path calls it (think: diagnostics code left in the image);
+* ``patch_site`` is a benign callee whose body is 6 nops — the landing
+  area that relocation attacks overwrite with encrypted gadget words.
+
+The frame of ``process_input`` is laid out so that input word 5 overwrites
+the saved return address (buffer at sp+0..15, filler at sp+16, saved ra at
+sp+20): a 6-word input performs the ROP-style control-flow hijack.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import parse
+from ..isa.program import AsmProgram, MMIO_ACTUATOR, MMIO_PUTINT
+
+#: the value `privileged` writes to the actuator when (ab)used
+UNLOCK_VALUE = 0x0BADCAFE
+
+#: benign console output of an untampered run
+BENIGN_OUTPUT = [7]
+
+#: number of words the stack buffer holds legitimately
+BUFFER_WORDS = 4
+
+#: input word index that lands on the saved return address
+RA_SLOT = 5
+
+VICTIM_ASM = f"""
+.entry main
+.text
+main:
+    call process_input
+    li t0, 0x{MMIO_PUTINT:08X}
+    li t1, 7
+    sw t1, 0(t0)
+    call patch_site
+    halt
+
+# copies input[0] words from input[1..] into a 4-word stack buffer,
+# trusting the attacker-supplied length — the overflow.
+process_input:
+    addi sp, sp, -24
+    sw ra, 20(sp)
+    la t0, input
+    lw t1, 0(t0)          # attacker-controlled word count
+    li t3, 0
+copy_loop:
+    bge t3, t1, copy_done
+    addi t4, t3, 1
+    slli t5, t4, 2
+    add t5, t0, t5
+    lw t6, 0(t5)          # input[1 + i]
+    slli t5, t3, 2
+    add t5, sp, t5
+    sw t6, 0(t5)          # buf[i]  (sp+0 .. sp+12 are legitimate)
+    addi t3, t3, 1
+    jmp copy_loop
+copy_done:
+    lw ra, 20(sp)
+    addi sp, sp, 24
+    ret
+
+# dormant diagnostics routine: unlocks the actuator.
+privileged:
+    li t0, 0x{MMIO_ACTUATOR:08X}
+    li t1, 0x{UNLOCK_VALUE:08X}
+    sw t1, 0(t0)
+    ret
+
+# benign callee with a nop body — relocation attacks overwrite this.
+patch_site:
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    ret
+
+.data
+input:
+    .word {BUFFER_WORDS}, 11, 22, 33, 44, 0, 0, 0
+"""
+
+
+def victim_program() -> AsmProgram:
+    """Parse a fresh copy of the victim."""
+    return parse(VICTIM_ASM)

@@ -1,0 +1,7 @@
+"""Baseline defenses for the attack-coverage comparison (experiment E8)."""
+
+from .isr import (EcbIsrMachine, XorIsrMachine, ecb_encrypt_words,
+                  xor_encrypt_words)
+
+__all__ = ["XorIsrMachine", "EcbIsrMachine", "xor_encrypt_words",
+           "ecb_encrypt_words"]

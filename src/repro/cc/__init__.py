@@ -1,0 +1,51 @@
+"""minicc — the C-subset compiler substrate.
+
+Stands in for the paper's Bare-C Cross-Compiler System: workloads are
+written in a small C dialect, compiled to SRISC assembly, and then either
+assembled directly (vanilla baseline) or fed to the SOFIA transformer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.assembler import parse as parse_asm
+from ..isa.program import AsmProgram
+from . import ast_nodes
+from .codegen import CodeGenerator
+from .lexer import Token, tokenize
+from .optimize import OptimizeStats, optimize_pushpop
+from .parser import parse_source
+
+
+@dataclass
+class CompiledProgram:
+    """Result of compiling one minicc translation unit."""
+
+    source: str
+    asm_text: str
+    program: AsmProgram
+    tree: ast_nodes.Program
+    optimize_stats: "OptimizeStats | None" = None
+
+
+def compile_source(source: str, optimize: bool = False) -> CompiledProgram:
+    """Compile minicc source to a parsed :class:`AsmProgram`.
+
+    ``optimize=True`` runs the push/pop peephole pass
+    (:mod:`repro.cc.optimize`) on the generated assembly.
+    """
+    tree = parse_source(source)
+    asm_text = CodeGenerator(tree).generate()
+    program = parse_asm(asm_text)
+    stats = None
+    if optimize:
+        stats = optimize_pushpop(program)
+    return CompiledProgram(source=source, asm_text=asm_text,
+                           program=program, tree=tree,
+                           optimize_stats=stats)
+
+
+__all__ = ["compile_source", "CompiledProgram", "parse_source", "tokenize",
+           "Token", "CodeGenerator", "ast_nodes", "optimize_pushpop",
+           "OptimizeStats"]

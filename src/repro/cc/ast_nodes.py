@@ -1,0 +1,187 @@
+"""Abstract syntax tree for minicc."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# --- expressions -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Index:
+    """Array access ``name[index]``."""
+
+    name: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str          # "-", "!", "~"
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str          # arithmetic/comparison/logical operators
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = value`` where target is Var or Index."""
+
+    target: "Expr"
+    value: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    args: Tuple["Expr", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Conditional:
+    """Ternary ``cond ? a : b``."""
+
+    cond: "Expr"
+    then: "Expr"
+    otherwise: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class PostOp:
+    """Postfix ``target++`` / ``target--`` (value is the *old* value)."""
+
+    target: "Expr"   # Var or Index
+    op: str          # "+" or "-"
+    line: int = 0
+
+
+Expr = (Num, Var, Index, Unary, Binary, Assign, Call, Conditional, PostOp)
+
+
+# --- statements --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Decl:
+    """Local declaration ``int name [= init]`` or ``int name[size]``."""
+
+    name: str
+    size: Optional[int]  # None for scalars, element count for arrays
+    init: Optional["Expr"]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class If:
+    cond: "Expr"
+    then: "Stmt"
+    otherwise: Optional["Stmt"]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class While:
+    cond: "Expr"
+    body: "Stmt"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class DoWhile:
+    body: "Stmt"
+    cond: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class For:
+    init: Optional["Expr"]
+    cond: Optional["Expr"]
+    step: Optional["Expr"]
+    body: "Stmt"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Optional["Expr"]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Break:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Continue:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BlockStmt:
+    body: Tuple["Stmt", ...]
+    line: int = 0
+
+
+Stmt = (ExprStmt, Decl, If, While, DoWhile, For, Return, Break, Continue,
+        BlockStmt)
+
+
+# --- top level ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GlobalVar:
+    name: str
+    size: Optional[int]          # None scalar, element count for arrays
+    init: Tuple[int, ...] = ()   # constant initializers
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Function:
+    name: str
+    params: Tuple[str, ...]
+    body: BlockStmt
+    line: int = 0
+
+
+@dataclass
+class Program:
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[Function] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

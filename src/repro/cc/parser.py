@@ -1,0 +1,366 @@
+"""Recursive-descent parser for minicc.
+
+Grammar (C subset; everything is ``int``)::
+
+    program   := (global | function)*
+    global    := 'int' ident ('[' num ']')? ('=' init)? ';'
+    init      := num | '{' num (',' num)* '}'
+    function  := 'int' ident '(' params? ')' block
+    params    := 'int' ident (',' 'int' ident)*
+    block     := '{' stmt* '}'
+    stmt      := block | 'if' ... | 'while' ... | 'for' ... | 'return' e? ';'
+               | 'break' ';' | 'continue' ';'
+               | 'int' ident ('[' num ']')? ('=' expr)? ';'
+               | expr? ';'
+    expr      := assignment (with compound operators lowered to
+                 plain assignment + binary op)
+    precedence: ?: < || < && < | < ^ < & < ==,!= < <,<=,>,>= < <<,>>
+                < +,- < *,/,% < unary
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import CompileError
+from . import ast_nodes as ast
+from .lexer import Token, tokenize
+
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                 "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>"}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _error(self, message: str) -> CompileError:
+        tok = self.current
+        return CompileError(message, tok.line, tok.column)
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise self._error(f"expected {want!r}, found {self.current.text!r}")
+        return self.advance()
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self.check("eof"):
+            self.expect("kw", "int")
+            name = self.expect("ident").text
+            if self.check("op", "("):
+                program.functions.append(self._function_rest(name))
+            else:
+                program.globals.append(self._global_rest(name))
+        self._validate(program)
+        return program
+
+    def _validate(self, program: ast.Program) -> None:
+        seen = set()
+        for item in list(program.globals) + list(program.functions):
+            if item.name in seen:
+                raise CompileError(f"duplicate definition of {item.name!r}",
+                                   item.line)
+            seen.add(item.name)
+
+    def _global_rest(self, name: str) -> ast.GlobalVar:
+        line = self.current.line
+        size: Optional[int] = None
+        init: Tuple[int, ...] = ()
+        if self.accept("op", "["):
+            size_tok = self.expect("num")
+            size = size_tok.value
+            if size <= 0:
+                raise CompileError(f"array {name!r} must have positive size",
+                                   size_tok.line)
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            if size is None:
+                init = (self._const_int(),)
+            else:
+                self.expect("op", "{")
+                values = [self._const_int()]
+                while self.accept("op", ","):
+                    values.append(self._const_int())
+                self.expect("op", "}")
+                if len(values) > size:
+                    raise CompileError(
+                        f"too many initializers for {name!r}", line)
+                init = tuple(values)
+        self.expect("op", ";")
+        return ast.GlobalVar(name=name, size=size, init=init, line=line)
+
+    def _const_int(self) -> int:
+        negative = bool(self.accept("op", "-"))
+        token = self.expect("num")
+        return -token.value if negative else token.value
+
+    def _function_rest(self, name: str) -> ast.Function:
+        line = self.current.line
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.check("op", ")"):
+            if self.accept("kw", "void"):
+                pass
+            else:
+                while True:
+                    self.expect("kw", "int")
+                    params.append(self.expect("ident").text)
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        if len(params) > 8:
+            raise CompileError(
+                f"function {name!r} has more than 8 parameters", line)
+        if len(set(params)) != len(params):
+            raise CompileError(f"duplicate parameter in {name!r}", line)
+        body = self._block()
+        return ast.Function(name=name, params=tuple(params), body=body,
+                            line=line)
+
+    # -- statements ------------------------------------------------------------
+
+    def _block(self) -> ast.BlockStmt:
+        line = self.current.line
+        self.expect("op", "{")
+        body: List = []
+        while not self.check("op", "}"):
+            if self.check("eof"):
+                raise self._error("unterminated block")
+            body.append(self._statement())
+        self.expect("op", "}")
+        return ast.BlockStmt(body=tuple(body), line=line)
+
+    def _statement(self):
+        token = self.current
+        if self.check("op", "{"):
+            return self._block()
+        if self.accept("kw", "if"):
+            self.expect("op", "(")
+            cond = self._expression()
+            self.expect("op", ")")
+            then = self._statement()
+            otherwise = self._statement() if self.accept("kw", "else") else None
+            return ast.If(cond, then, otherwise, line=token.line)
+        if self.accept("kw", "while"):
+            self.expect("op", "(")
+            cond = self._expression()
+            self.expect("op", ")")
+            return ast.While(cond, self._statement(), line=token.line)
+        if self.accept("kw", "do"):
+            body = self._statement()
+            self.expect("kw", "while")
+            self.expect("op", "(")
+            cond = self._expression()
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return ast.DoWhile(body, cond, line=token.line)
+        if self.accept("kw", "for"):
+            self.expect("op", "(")
+            decl = None
+            init = None
+            if self.accept("kw", "int"):
+                # `for (int i = e; ...)` desugars to a scoped declaration
+                name = self.expect("ident").text
+                self.expect("op", "=")
+                decl = ast.Decl(name, None, self._expression(),
+                                line=token.line)
+            elif not self.check("op", ";"):
+                init = self._expression()
+            self.expect("op", ";")
+            cond = None if self.check("op", ";") else self._expression()
+            self.expect("op", ";")
+            step = None if self.check("op", ")") else self._expression()
+            self.expect("op", ")")
+            loop = ast.For(init, cond, step, self._statement(),
+                           line=token.line)
+            if decl is not None:
+                return ast.BlockStmt(body=(decl, loop), line=token.line)
+            return loop
+        if self.accept("kw", "return"):
+            value = None if self.check("op", ";") else self._expression()
+            self.expect("op", ";")
+            return ast.Return(value, line=token.line)
+        if self.accept("kw", "break"):
+            self.expect("op", ";")
+            return ast.Break(line=token.line)
+        if self.accept("kw", "continue"):
+            self.expect("op", ";")
+            return ast.Continue(line=token.line)
+        if self.accept("kw", "int"):
+            name = self.expect("ident").text
+            size: Optional[int] = None
+            init = None
+            if self.accept("op", "["):
+                size_tok = self.expect("num")
+                size = size_tok.value
+                if size <= 0:
+                    raise CompileError("array size must be positive",
+                                       size_tok.line)
+                self.expect("op", "]")
+            if self.accept("op", "="):
+                if size is not None:
+                    raise self._error("local array initializers unsupported")
+                init = self._expression()
+            self.expect("op", ";")
+            return ast.Decl(name, size, init, line=token.line)
+        if self.accept("op", ";"):
+            return ast.BlockStmt(body=(), line=token.line)
+        expr = self._expression()
+        self.expect("op", ";")
+        return ast.ExprStmt(expr, line=token.line)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expression(self):
+        return self._assignment()
+
+    def _assignment(self):
+        left = self._ternary()
+        token = self.current
+        if self.check("op", "="):
+            self.advance()
+            value = self._assignment()
+            self._check_lvalue(left, token)
+            return ast.Assign(left, value, line=token.line)
+        if token.kind == "op" and token.text in _COMPOUND_OPS:
+            self.advance()
+            value = self._assignment()
+            self._check_lvalue(left, token)
+            op = _COMPOUND_OPS[token.text]
+            return ast.Assign(left, ast.Binary(op, left, value,
+                                               line=token.line),
+                              line=token.line)
+        return left
+
+    def _check_lvalue(self, expr, token: Token) -> None:
+        if not isinstance(expr, (ast.Var, ast.Index)):
+            raise CompileError("assignment target must be a variable or "
+                               "array element", token.line, token.column)
+
+    def _ternary(self):
+        cond = self._binary(0)
+        if self.accept("op", "?"):
+            then = self._expression()
+            self.expect("op", ":")
+            otherwise = self._ternary()
+            return ast.Conditional(cond, then, otherwise)
+        return cond
+
+    def _binary(self, level: int):
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        left = self._binary(level + 1)
+        while (self.current.kind == "op"
+               and self.current.text in _BINARY_LEVELS[level]):
+            op = self.advance()
+            right = self._binary(level + 1)
+            left = ast.Binary(op.text, left, right, line=op.line)
+        return left
+
+    def _unary(self):
+        token = self.current
+        if token.kind == "op" and token.text in ("++", "--"):
+            # prefix increment: exact desugaring to an assignment
+            self.advance()
+            operand = self._unary()
+            self._check_lvalue(operand, token)
+            op = "+" if token.text == "++" else "-"
+            return ast.Assign(operand,
+                              ast.Binary(op, operand, ast.Num(1),
+                                         line=token.line),
+                              line=token.line)
+        if self.check("op", "-"):
+            self.advance()
+            operand = self._unary()
+            if isinstance(operand, ast.Num):
+                return ast.Num(-operand.value, line=token.line)
+            return ast.Unary("-", operand, line=token.line)
+        if self.check("op", "!"):
+            self.advance()
+            return ast.Unary("!", self._unary(), line=token.line)
+        if self.check("op", "~"):
+            self.advance()
+            return ast.Unary("~", self._unary(), line=token.line)
+        if self.check("op", "+"):
+            self.advance()
+            return self._unary()
+        return self._postfix()
+
+    def _postfix(self):
+        token = self.current
+        if token.kind == "num":
+            self.advance()
+            return ast.Num(token.value, line=token.line)
+        if self.accept("op", "("):
+            expr = self._expression()
+            self.expect("op", ")")
+            return expr
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args: List = []
+                if not self.check("op", ")"):
+                    args.append(self._expression())
+                    while self.accept("op", ","):
+                        args.append(self._expression())
+                self.expect("op", ")")
+                return ast.Call(token.text, tuple(args), line=token.line)
+            if self.accept("op", "["):
+                index = self._expression()
+                self.expect("op", "]")
+                return self._maybe_postfix(
+                    ast.Index(token.text, index, line=token.line))
+            return self._maybe_postfix(ast.Var(token.text, line=token.line))
+        raise self._error(f"unexpected token {token.text!r} in expression")
+
+    def _maybe_postfix(self, expr):
+        token = self.current
+        if token.kind == "op" and token.text in ("++", "--"):
+            self.advance()
+            return ast.PostOp(expr, "+" if token.text == "++" else "-",
+                              line=token.line)
+        return expr
+
+
+def parse_source(source: str) -> ast.Program:
+    """Tokenize + parse minicc source."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,61 @@
+"""CFG analyses used by the transformer, the evaluation and the tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .graph import ControlFlowGraph, RESET_NODE
+
+
+@dataclass(frozen=True)
+class CFGStats:
+    """Summary statistics of an instruction-level CFG."""
+
+    num_nodes: int
+    num_edges: int
+    reachable_nodes: int
+    multi_pred_nodes: int
+    max_fan_in: int
+    max_fan_out: int
+
+    def __str__(self) -> str:
+        return (f"nodes={self.num_nodes} edges={self.num_edges} "
+                f"reachable={self.reachable_nodes} "
+                f"multi-pred={self.multi_pred_nodes} "
+                f"max-fan-in={self.max_fan_in} max-fan-out={self.max_fan_out}")
+
+
+def fan_in(cfg: ControlFlowGraph) -> Dict[int, int]:
+    """Number of inbound edges per node (the mux-tree driver metric)."""
+    counts: Dict[int, int] = {}
+    for edge in cfg.edges:
+        counts[edge.dst] = counts.get(edge.dst, 0) + 1
+    return counts
+
+
+def multi_predecessor_nodes(cfg: ControlFlowGraph) -> List[int]:
+    """Nodes needing multiplexor blocks (more than one predecessor)."""
+    return sorted(node for node, count in fan_in(cfg).items() if count > 1)
+
+
+def unreachable_nodes(cfg: ControlFlowGraph) -> List[int]:
+    reachable = cfg.reachable()
+    return sorted(set(range(cfg.num_nodes)) - reachable)
+
+
+def stats(cfg: ControlFlowGraph) -> CFGStats:
+    """Compute summary statistics."""
+    inbound = fan_in(cfg)
+    outbound: Dict[int, int] = {}
+    for edge in cfg.edges:
+        if edge.src != RESET_NODE:
+            outbound[edge.src] = outbound.get(edge.src, 0) + 1
+    return CFGStats(
+        num_nodes=cfg.num_nodes,
+        num_edges=len(cfg.edges),
+        reachable_nodes=len(cfg.reachable()),
+        multi_pred_nodes=sum(1 for c in inbound.values() if c > 1),
+        max_fan_in=max(inbound.values(), default=0),
+        max_fan_out=max(outbound.values(), default=0),
+    )

@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The toolchain workflow as a developer would drive it:
+
+==================  ====================================================
+``compile``         minicc C -> SRISC assembly
+``run``             run a .c/.s program on the vanilla core
+``protect``         transform+MAC+encrypt into a .sofia image (verified)
+``run-protected``   run a .sofia image on the SOFIA core
+``disasm``          disassemble a program (vanilla address space)
+``trace``           per-instruction execution trace (vanilla core)
+``attack``          run the attack campaign, print the E8 matrix
+``experiments``     regenerate paper tables/figures (E1, E2, ...)
+==================  ====================================================
+
+Keys are derived from ``--seed`` (a stand-in for device provisioning);
+images embed their nonce.  Exit status: 0 on success, 1 on a program
+error (assembly/compile/transform failure), 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import core
+from .attacks import format_matrix, run_campaign
+from .crypto.keys import DeviceKeys
+from .errors import ReproError
+from .eval import (experiment_adpcm, experiment_blocksize,
+                   experiment_muxtree, experiment_security,
+                   experiment_table1, experiment_unroll,
+                   experiment_workloads, format_overhead_rows,
+                   render_blocksize, render_muxtree, render_unroll)
+from .isa.disassembler import dump
+from .sim.trace import list_image, trace_vanilla
+from .sim.vanilla import VanillaMachine
+from .transform.config import TransformConfig
+from .transform.image import SofiaImage
+from .transform.verify import verify_image
+
+
+def _load_program(path: str, optimize: bool = False):
+    """Compile or parse a source file by extension."""
+    text = Path(path).read_text()
+    if path.endswith(".c"):
+        from .cc import compile_source
+        return compile_source(text, optimize=optimize).program
+    return core.build_assembly(text)
+
+
+def _print_result(result) -> int:
+    if result.output_ints:
+        for value in result.output_ints:
+            print(value)
+    if result.output_text:
+        print(result.output_text, end="")
+    print(f"# {result.summary()}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def cmd_compile(args) -> int:
+    compiled = core.build_c(Path(args.source).read_text())
+    output = compiled.asm_text
+    if args.output:
+        Path(args.output).write_text(output)
+    else:
+        print(output, end="")
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _load_program(args.source, optimize=args.optimize)
+    result = core.run_vanilla(core.link_vanilla(program),
+                              max_instructions=args.max_instructions)
+    return _print_result(result)
+
+
+def cmd_protect(args) -> int:
+    program = _load_program(args.source, optimize=args.optimize)
+    keys = DeviceKeys.from_seed(args.seed)
+    config = TransformConfig(block_words=args.block_words,
+                             schedule_stores=args.schedule_stores)
+    image = core.protect(program, keys, nonce=args.nonce, config=config)
+    findings = verify_image(image, keys)
+    if findings:
+        for finding in findings:
+            print(str(finding), file=sys.stderr)
+        return 1
+    if args.list:
+        print(list_image(image, keys))
+    Path(args.output).write_bytes(image.to_bytes())
+    stats = image.stats
+    print(f"# wrote {args.output}: {image.code_size_bytes} bytes, "
+          f"{image.num_blocks} blocks "
+          f"({stats.mux_blocks} mux, {stats.tree_nodes} tree), "
+          f"expansion {stats.expansion_ratio:.2f}x, verified OK",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_run_protected(args) -> int:
+    image = SofiaImage.from_bytes(Path(args.image).read_bytes())
+    keys = DeviceKeys.from_seed(args.seed)
+    result = core.run_protected(image, keys,
+                                max_instructions=args.max_instructions)
+    return _print_result(result)
+
+
+def cmd_disasm(args) -> int:
+    program = _load_program(args.source)
+    exe = core.link_vanilla(program)
+    print(dump(exe.code_words, exe.code_base))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    program = _load_program(args.source)
+    machine = VanillaMachine(core.link_vanilla(program))
+    for entry in trace_vanilla(machine, max_instructions=args.limit):
+        print(entry.render())
+    return 0
+
+
+def cmd_attack(args) -> int:
+    results = run_campaign(seed=args.seed)
+    print(format_matrix(results))
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": lambda: experiment_table1().render(),
+    "adpcm": lambda: experiment_adpcm("small").render(),
+    "security": lambda: experiment_security(100).render(),
+    "blocksize": lambda: render_blocksize(
+        experiment_blocksize("tiny", (6, 8))),
+    "muxtree": lambda: render_muxtree(experiment_muxtree((1, 2, 4, 8))),
+    "unroll": lambda: render_unroll(experiment_unroll()),
+    "workloads": lambda: format_overhead_rows(
+        experiment_workloads("tiny")),
+}
+
+
+def cmd_report(args) -> int:
+    from .eval.report import write_report
+    text = write_report(args.output, scale=args.scale)
+    print(f"# wrote {args.output} ({len(text.splitlines())} lines)",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    names = args.names or sorted(_EXPERIMENTS)
+    for name in names:
+        runner = _EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; "
+                  f"known: {sorted(_EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        print(f"==== {name} ====")
+        print(runner())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SOFIA reproduction toolchain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="minicc C -> SRISC assembly")
+    p.add_argument("source")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="run on the vanilla core")
+    p.add_argument("source")
+    p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p.add_argument("-O", "--optimize", action="store_true",
+                   help="enable the minicc peephole optimizer")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("protect", help="build a SOFIA image")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--seed", type=int, default=1,
+                   help="device-key provisioning seed")
+    p.add_argument("--nonce", type=int, default=0x2016,
+                   help="per-binary nonce (16 bits)")
+    p.add_argument("--block-words", type=int, default=8)
+    p.add_argument("--schedule-stores", action="store_true",
+                   help="enable the store-scheduling optimization")
+    p.add_argument("-O", "--optimize", action="store_true",
+                   help="enable the minicc peephole optimizer")
+    p.add_argument("--list", action="store_true",
+                   help="print the decrypted listing after building")
+    p.set_defaults(func=cmd_protect)
+
+    p = sub.add_parser("run-protected", help="run a .sofia image")
+    p.add_argument("image")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p.set_defaults(func=cmd_run_protected)
+
+    p = sub.add_parser("disasm", help="disassemble (vanilla layout)")
+    p.add_argument("source")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("trace", help="per-instruction execution trace")
+    p.add_argument("source")
+    p.add_argument("--limit", type=int, default=200)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("attack", help="run the attack campaign (E8)")
+    p.add_argument("--seed", type=int, default=1337)
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("experiments", help="regenerate paper artifacts")
+    p.add_argument("names", nargs="*",
+                   help=f"subset of {sorted(_EXPERIMENTS)}")
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("report", help="write the full evaluation report")
+    p.add_argument("-o", "--output", default="sofia_report.txt")
+    p.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "medium"))
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

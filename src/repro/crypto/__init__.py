@@ -1,0 +1,19 @@
+"""Cryptographic substrate: RECTANGLE-80, CTR keystream, CBC-MAC, keys."""
+
+from .cbcmac import cbc_mac, mac_words, verify
+from .ctr import EdgeKeystream, pack_counter
+from .keys import DeviceKeys, derive_key
+from .present import Present80
+from .rectangle import Rectangle80
+
+__all__ = [
+    "Rectangle80",
+    "Present80",
+    "EdgeKeystream",
+    "pack_counter",
+    "cbc_mac",
+    "mac_words",
+    "verify",
+    "DeviceKeys",
+    "derive_key",
+]

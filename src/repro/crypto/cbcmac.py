@@ -1,0 +1,39 @@
+"""CBC-MAC over 32-bit instruction words (ISO/IEC 9797-1 style).
+
+SOFIA computes a 64-bit CBC-MAC over the plaintext instruction words of each
+block.  CBC-MAC is only secure for fixed-length messages, so the
+architecture dedicates one key per block type (k2 for 6-word execution
+blocks, k3 for 5-word multiplexor blocks); this module is agnostic and just
+MACs word sequences.
+
+Message packing: consecutive 32-bit words are packed big-word-first into
+64-bit cipher blocks; an odd trailing word is padded with a zero word (the
+multiplexor-block rule from DESIGN.md).  The MAC is the final CBC state,
+returned either as a 64-bit integer or as the two 32-bit words (M1, M2) that
+get interleaved into the code stream; M1 is the most-significant word.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .primitives import MASK64, block_to_words, words_to_blocks
+from .rectangle import Rectangle80
+
+
+def cbc_mac(cipher: Rectangle80, words: Sequence[int], iv: int = 0) -> int:
+    """Compute the 64-bit CBC-MAC of a sequence of 32-bit words."""
+    state = iv & MASK64
+    for block in words_to_blocks(list(words)):
+        state = cipher.encrypt(state ^ block)
+    return state
+
+
+def mac_words(cipher: Rectangle80, words: Sequence[int]) -> Tuple[int, int]:
+    """CBC-MAC returned as the two 32-bit MAC words ``(M1, M2)``."""
+    return block_to_words(cbc_mac(cipher, words))
+
+
+def verify(cipher: Rectangle80, words: Sequence[int], m1: int, m2: int) -> bool:
+    """Check a precomputed (M1, M2) pair against the message words."""
+    return mac_words(cipher, words) == (m1 & 0xFFFFFFFF, m2 & 0xFFFFFFFF)

@@ -1,0 +1,78 @@
+"""Control-flow-dependent CTR-mode keystream (paper Alg. 1).
+
+Each 32-bit instruction word at address ``PC``, reached from the word at
+address ``prevPC``, is XORed with the low 32 bits of
+``E_k1(omega || prevPC || PC)``:
+
+* ``omega``   — 16-bit per-binary nonce (unique per program and version),
+* ``prevPC``  — 24-bit *word* address of the previously fetched word,
+* ``PC``      — 24-bit *word* address of this word.
+
+The 16+24+24 packing fills RECTANGLE's 64-bit block exactly (DESIGN.md,
+"Counter packing") and supports a 64 MiB code space.
+
+Keystream values are memoized per (prevPC, PC) edge: during a valid
+execution every traversal of a CFG edge uses the same counter, so loops pay
+for the cipher only once per static edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .primitives import MASK32
+from .rectangle import Rectangle80
+
+NONCE_BITS = 16
+ADDR_BITS = 24
+#: Code addresses are byte addresses of 4-byte-aligned words.
+MAX_CODE_BYTES = 1 << (ADDR_BITS + 2)
+
+
+def pack_counter(nonce: int, prev_pc: int, pc: int) -> int:
+    """Pack ``{omega || prevPC || PC}`` into a 64-bit cipher input block.
+
+    ``prev_pc`` and ``pc`` are byte addresses; they must be word aligned and
+    fit in the 24-bit word-address space.
+    """
+    if nonce >> NONCE_BITS:
+        raise ValueError(f"nonce 0x{nonce:x} exceeds {NONCE_BITS} bits")
+    for name, addr in (("prevPC", prev_pc), ("PC", pc)):
+        if addr % 4:
+            raise ValueError(f"{name}=0x{addr:x} is not word aligned")
+        if addr >= MAX_CODE_BYTES:
+            raise ValueError(f"{name}=0x{addr:x} exceeds the 24-bit word space")
+    return (nonce << (2 * ADDR_BITS)) | ((prev_pc >> 2) << ADDR_BITS) | (pc >> 2)
+
+
+class EdgeKeystream:
+    """Generates (and memoizes) per-edge 32-bit keystream words."""
+
+    def __init__(self, cipher: Rectangle80, nonce: int) -> None:
+        if nonce >> NONCE_BITS:
+            raise ValueError(f"nonce 0x{nonce:x} exceeds {NONCE_BITS} bits")
+        self.cipher = cipher
+        self.nonce = nonce
+        self._cache: Dict[Tuple[int, int], int] = {}
+
+    def keystream(self, prev_pc: int, pc: int) -> int:
+        """32-bit keystream word for the edge ``prev_pc -> pc``."""
+        key = (prev_pc, pc)
+        cached = self._cache.get(key)
+        if cached is None:
+            counter = pack_counter(self.nonce, prev_pc, pc)
+            cached = self.cipher.encrypt(counter) & MASK32
+            self._cache[key] = cached
+        return cached
+
+    def encrypt_word(self, word: int, prev_pc: int, pc: int) -> int:
+        """Encrypt a plaintext 32-bit word for the given control-flow edge."""
+        return (word ^ self.keystream(prev_pc, pc)) & MASK32
+
+    def decrypt_word(self, cword: int, prev_pc: int, pc: int) -> int:
+        """Decrypt a ciphertext word; identical to encryption (XOR stream)."""
+        return (cword ^ self.keystream(prev_pc, pc)) & MASK32
+
+    def cache_size(self) -> int:
+        """Number of distinct edges decrypted so far (diagnostics)."""
+        return len(self._cache)

@@ -1,0 +1,89 @@
+"""PRESENT-80 block cipher (Bogdanov et al., CHES 2007).
+
+An alternative 64-bit/80-bit lightweight cipher for the cipher-agility
+study: the paper's companion work on single-cycle block ciphers (Maene &
+Verbauwhede [36]) evaluates exactly RECTANGLE and PRESENT as SOFIA-class
+datapaths.  PRESENT has 31 rounds of AddRoundKey, a 4-bit S-box layer and
+a bit permutation (``P(i) = 16*i mod 63``), with a final key addition.
+
+Unlike RECTANGLE (no offline vectors available), PRESENT's published test
+vector is well known and pinned in the test-suite:
+
+    K = 0^80, P = 0^64  ->  C = 0x5579C1387B228445
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .primitives import MASK64
+
+SBOX = (0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+        0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2)
+SBOX_INV = tuple(SBOX.index(i) for i in range(16))
+
+ROUNDS = 31
+KEY_BITS = 80
+
+#: bit permutation: output position of input bit i
+PERMUTATION = tuple(63 if i == 63 else (16 * i) % 63 for i in range(64))
+PERMUTATION_INV = tuple(PERMUTATION.index(i) for i in range(64))
+
+
+def _sbox_layer(state: int, table) -> int:
+    out = 0
+    for nibble in range(16):
+        out |= table[(state >> (4 * nibble)) & 0xF] << (4 * nibble)
+    return out
+
+
+def _permute(state: int, table) -> int:
+    out = 0
+    for i in range(64):
+        if (state >> i) & 1:
+            out |= 1 << table[i]
+    return out
+
+
+class Present80:
+    """PRESENT with an 80-bit key (drop-in alternative to Rectangle80)."""
+
+    def __init__(self, key: int) -> None:
+        if key < 0 or key >> KEY_BITS:
+            raise ValueError(f"key must be an unsigned {KEY_BITS}-bit integer")
+        self.key = key
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: int) -> List[int]:
+        register = key
+        round_keys = []
+        for round_counter in range(1, ROUNDS + 1):
+            round_keys.append(register >> 16)        # leftmost 64 bits
+            # rotate the 80-bit register left by 61
+            register = ((register << 61) | (register >> 19)) & ((1 << 80) - 1)
+            # S-box on the top nibble
+            top = SBOX[(register >> 76) & 0xF]
+            register = (register & ~(0xF << 76)) | (top << 76)
+            # XOR the round counter into bits 19..15
+            register ^= round_counter << 15
+        round_keys.append(register >> 16)
+        return round_keys
+
+    def encrypt(self, block: int) -> int:
+        state = block & MASK64
+        keys = self._round_keys
+        for rnd in range(ROUNDS):
+            state ^= keys[rnd]
+            state = _sbox_layer(state, SBOX)
+            state = _permute(state, PERMUTATION)
+        return state ^ keys[ROUNDS]
+
+    def decrypt(self, block: int) -> int:
+        state = (block & MASK64) ^ self._round_keys[ROUNDS]
+        keys = self._round_keys
+        for rnd in range(ROUNDS - 1, -1, -1):
+            state = _permute(state, PERMUTATION_INV)
+            state = _sbox_layer(state, SBOX_INV)
+            state ^= keys[rnd]
+        return state

@@ -1,0 +1,241 @@
+"""RECTANGLE-80 lightweight block cipher (Zhang et al., 2014).
+
+SOFIA uses RECTANGLE-80 — a bit-slice SPN cipher with a 64-bit block, an
+80-bit key and 25 rounds — as the single cipher shared by its CTR-mode
+instruction decryption and its CBC-MAC software-integrity check.
+
+State model
+-----------
+The 64-bit block is viewed as a 4x16 bit matrix of rows ``r0..r3``; ``r0``
+holds the least-significant 16 bits of the block.  One round applies:
+
+* ``AddRoundKey`` — XOR the 64-bit round key (also 4x16) into the state,
+* ``SubColumn``   — a 4-bit S-box applied to each of the 16 columns,
+* ``ShiftRow``    — rows rotated left by 0, 1, 12 and 13 bits.
+
+After 25 rounds a final ``AddRoundKey`` with the 26th round key is applied.
+
+The 80-bit key is a 5x16 matrix; each round key is rows 0..3.  The schedule
+applies the S-box to the four low-order columns of the top four rows, a
+generalized Feistel mix of the five rows, and a 5-bit LFSR round constant.
+
+Offline note (documented in DESIGN.md): the official test vectors were not
+available in this environment, so the implementation is validated by
+structural properties (invertibility, avalanche, key sensitivity) rather
+than published vectors.  SOFIA's security argument only requires a 64-bit
+PRP, which these properties evidence.
+
+Performance: ``SubColumn`` is implemented with precomputed 16-bit spread /
+substitute / gather tables so a full encryption costs a few hundred Python
+operations instead of 16x25 per-column loops.  The tables are built lazily
+on first use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .primitives import MASK16, MASK64, rotl16
+
+#: RECTANGLE 4-bit S-box and its inverse.
+SBOX = (0x6, 0x5, 0xC, 0xA, 0x1, 0xE, 0x7, 0x9,
+        0xB, 0x0, 0x3, 0xD, 0x8, 0xF, 0x4, 0x2)
+SBOX_INV = tuple(SBOX.index(i) for i in range(16))
+
+#: Left-rotation amounts for ShiftRow, per row.
+ROW_ROTATIONS = (0, 1, 12, 13)
+
+ROUNDS = 25
+KEY_BITS = 80
+BLOCK_BITS = 64
+
+
+def round_constants(count: int = ROUNDS) -> List[int]:
+    """Generate the 5-bit LFSR round constants RC[0..count-1].
+
+    The LFSR starts at 0b00001 and clocks ``rc <- (rc << 1) | (rc4 ^ rc2)``
+    over 5-bit state, the feedback polynomial used by the RECTANGLE spec.
+    """
+    constants = []
+    rc = 0x1
+    for _ in range(count):
+        constants.append(rc)
+        feedback = ((rc >> 4) ^ (rc >> 2)) & 1
+        rc = ((rc << 1) | feedback) & 0x1F
+    return constants
+
+
+_RC = tuple(round_constants())
+
+# --- bit-slice acceleration tables (built lazily) -------------------------
+#
+# _SPREAD[x]   : 16-bit row -> 64-bit value with bit i of x at position 4*i.
+# _SUB16[x]    : 16-bit chunk holding 4 column nibbles -> S-boxed chunk.
+# _SUB16_INV[x]: inverse substitution chunk table.
+# _GATHER[k][x]: 16-bit chunk -> the 4 bits at nibble-offset k, packed.
+
+_SPREAD: Optional[List[int]] = None
+_SUB16: Optional[List[int]] = None
+_SUB16_INV: Optional[List[int]] = None
+_GATHER: Optional[List[List[int]]] = None
+
+
+def _build_tables() -> None:
+    global _SPREAD, _SUB16, _SUB16_INV, _GATHER
+    if _SPREAD is not None:
+        return
+    spread = [0] * 65536
+    for x in range(65536):
+        v = 0
+        bits = x
+        pos = 0
+        while bits:
+            if bits & 1:
+                v |= 1 << pos
+            bits >>= 1
+            pos += 4
+        spread[x] = v
+    sub16 = [0] * 65536
+    sub16_inv = [0] * 65536
+    for x in range(65536):
+        s = (SBOX[x & 0xF]
+             | (SBOX[(x >> 4) & 0xF] << 4)
+             | (SBOX[(x >> 8) & 0xF] << 8)
+             | (SBOX[(x >> 12) & 0xF] << 12))
+        sub16[x] = s
+        t = (SBOX_INV[x & 0xF]
+             | (SBOX_INV[(x >> 4) & 0xF] << 4)
+             | (SBOX_INV[(x >> 8) & 0xF] << 8)
+             | (SBOX_INV[(x >> 12) & 0xF] << 12))
+        sub16_inv[x] = t
+    gather = [[0] * 65536 for _ in range(4)]
+    for x in range(65536):
+        for k in range(4):
+            g = 0
+            for nib in range(4):
+                if (x >> (4 * nib + k)) & 1:
+                    g |= 1 << nib
+            gather[k][x] = g
+    _SPREAD, _SUB16, _SUB16_INV, _GATHER = spread, sub16, sub16_inv, gather
+
+
+def _sub_column(rows: List[int], inverse: bool = False) -> List[int]:
+    """Apply the S-box to all 16 columns of the 4x16 state in parallel."""
+    _build_tables()
+    assert _SPREAD is not None and _SUB16 is not None
+    assert _SUB16_INV is not None and _GATHER is not None
+    cols = (_SPREAD[rows[0]]
+            | (_SPREAD[rows[1]] << 1)
+            | (_SPREAD[rows[2]] << 2)
+            | (_SPREAD[rows[3]] << 3))
+    table = _SUB16_INV if inverse else _SUB16
+    c0 = table[cols & 0xFFFF]
+    c1 = table[(cols >> 16) & 0xFFFF]
+    c2 = table[(cols >> 32) & 0xFFFF]
+    c3 = table[(cols >> 48) & 0xFFFF]
+    out = []
+    for k in range(4):
+        g = _GATHER[k]
+        out.append(g[c0] | (g[c1] << 4) | (g[c2] << 8) | (g[c3] << 12))
+    return out
+
+
+def _block_to_rows(block: int) -> List[int]:
+    block &= MASK64
+    return [(block >> (16 * i)) & MASK16 for i in range(4)]
+
+
+def _rows_to_block(rows: Sequence[int]) -> int:
+    return (rows[0] | (rows[1] << 16) | (rows[2] << 32) | (rows[3] << 48)) & MASK64
+
+
+class Rectangle80:
+    """RECTANGLE with an 80-bit key; encrypts/decrypts 64-bit blocks.
+
+    The key schedule is computed once at construction; `encrypt` and
+    `decrypt` are then cheap enough for the simulator's per-edge keystream
+    memoization to keep whole-program runs fast.
+    """
+
+    def __init__(self, key: int) -> None:
+        if key < 0 or key >> KEY_BITS:
+            raise ValueError(f"key must be an unsigned {KEY_BITS}-bit integer")
+        self.key = key
+        self._round_keys = self._expand_key(key)
+
+    @classmethod
+    def from_bytes(cls, key: bytes) -> "Rectangle80":
+        """Build a cipher from a 10-byte (80-bit) big-endian key."""
+        if len(key) != KEY_BITS // 8:
+            raise ValueError(f"key must be {KEY_BITS // 8} bytes")
+        return cls(int.from_bytes(key, "big"))
+
+    @staticmethod
+    def _expand_key(key: int) -> List[int]:
+        """Derive the 26 round keys from the 80-bit master key."""
+        rows = [(key >> (16 * i)) & MASK16 for i in range(5)]
+        round_keys = []
+        for rnd in range(ROUNDS):
+            round_keys.append(_rows_to_block(rows[:4]))
+            # S-box on the intersection of rows 0..3 and columns 0..3.
+            for col in range(4):
+                nibble = (((rows[3] >> col) & 1) << 3
+                          | ((rows[2] >> col) & 1) << 2
+                          | ((rows[1] >> col) & 1) << 1
+                          | ((rows[0] >> col) & 1))
+                sub = SBOX[nibble]
+                for bit in range(4):
+                    if (sub >> bit) & 1:
+                        rows[bit] |= 1 << col
+                    else:
+                        rows[bit] &= ~(1 << col) & MASK16
+            # Generalized Feistel mix of the five rows.
+            new_rows = [
+                (rotl16(rows[0], 8) ^ rows[1]) & MASK16,
+                rows[2],
+                rows[3],
+                (rotl16(rows[3], 12) ^ rows[4]) & MASK16,
+                rows[0],
+            ]
+            rows = new_rows
+            rows[0] ^= _RC[rnd]
+        round_keys.append(_rows_to_block(rows[:4]))
+        return round_keys
+
+    def encrypt(self, block: int) -> int:
+        """Encrypt one 64-bit block."""
+        rows = _block_to_rows(block)
+        keys = self._round_keys
+        for rnd in range(ROUNDS):
+            rk = keys[rnd]
+            rows[0] ^= rk & MASK16
+            rows[1] ^= (rk >> 16) & MASK16
+            rows[2] ^= (rk >> 32) & MASK16
+            rows[3] ^= (rk >> 48) & MASK16
+            rows = _sub_column(rows)
+            rows = [rotl16(rows[i], ROW_ROTATIONS[i]) for i in range(4)]
+        rk = keys[ROUNDS]
+        rows[0] ^= rk & MASK16
+        rows[1] ^= (rk >> 16) & MASK16
+        rows[2] ^= (rk >> 32) & MASK16
+        rows[3] ^= (rk >> 48) & MASK16
+        return _rows_to_block(rows)
+
+    def decrypt(self, block: int) -> int:
+        """Decrypt one 64-bit block (inverse of :meth:`encrypt`)."""
+        rows = _block_to_rows(block)
+        keys = self._round_keys
+        rk = keys[ROUNDS]
+        rows[0] ^= rk & MASK16
+        rows[1] ^= (rk >> 16) & MASK16
+        rows[2] ^= (rk >> 32) & MASK16
+        rows[3] ^= (rk >> 48) & MASK16
+        for rnd in range(ROUNDS - 1, -1, -1):
+            rows = [rotl16(rows[i], 16 - ROW_ROTATIONS[i]) for i in range(4)]
+            rows = _sub_column(rows, inverse=True)
+            rk = keys[rnd]
+            rows[0] ^= rk & MASK16
+            rows[1] ^= (rk >> 16) & MASK16
+            rows[2] ^= (rk >> 32) & MASK16
+            rows[3] ^= (rk >> 48) & MASK16
+        return _rows_to_block(rows)

@@ -1,0 +1,27 @@
+"""Evaluation harness: regenerates every paper table and figure."""
+
+from .experiments import (AdpcmComparison, BlockSizePoint, CachePoint,
+                          FanInPoint, PAPER_ADPCM, SecurityExperiment,
+                          experiment_adpcm, experiment_attacks,
+                          experiment_blocksize, experiment_cache,
+                          experiment_muxtree, experiment_security,
+                          experiment_table1, experiment_unroll,
+                          experiment_workloads, render_blocksize,
+                          render_cache, render_muxtree, render_unroll,
+                          render_workloads)
+from .export import blocksize_csv, cache_csv, muxtree_csv, overhead_csv
+from .overhead import OverheadRow, format_overhead_rows, measure_overhead
+from .report import full_report, write_report
+
+__all__ = [
+    "OverheadRow", "measure_overhead", "format_overhead_rows",
+    "experiment_table1", "experiment_adpcm", "experiment_security",
+    "experiment_blocksize", "experiment_muxtree", "experiment_attacks",
+    "experiment_workloads", "experiment_unroll",
+    "render_blocksize", "render_muxtree", "render_workloads",
+    "render_unroll", "AdpcmComparison", "SecurityExperiment",
+    "BlockSizePoint", "FanInPoint", "PAPER_ADPCM",
+    "full_report", "write_report",
+    "experiment_cache", "render_cache", "CachePoint",
+    "overhead_csv", "muxtree_csv", "blocksize_csv", "cache_csv",
+]

@@ -1,0 +1,77 @@
+"""CSV export of experiment data (figure-ready artifacts).
+
+Each exporter turns one experiment's rows into a CSV file so downstream
+users can plot the reproduction's figures with their own tooling (the
+repository deliberately has no plotting dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .experiments import (BlockSizePoint, CachePoint, FanInPoint)
+from .overhead import OverheadRow
+
+
+def _write(header: Sequence[str], rows: List[Sequence],
+           path: Optional[str]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    writer.writerows(rows)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def overhead_csv(rows: List[OverheadRow],
+                 path: Optional[str] = None) -> str:
+    """E2/E10 data: one row per workload."""
+    return _write(
+        ["workload", "vanilla_bytes", "sofia_bytes", "size_ratio",
+         "vanilla_cycles", "sofia_cycles", "cycle_overhead",
+         "exec_time_overhead", "blocks", "mux_blocks", "padding_nops"],
+        [[r.workload, r.vanilla_bytes, r.sofia_bytes,
+          round(r.size_ratio, 4), r.vanilla_cycles, r.sofia_cycles,
+          round(r.cycle_overhead, 4), round(r.exec_time_overhead, 4),
+          r.blocks, r.mux_blocks, r.padding_nops] for r in rows],
+        path)
+
+
+def muxtree_csv(points: List[FanInPoint],
+                path: Optional[str] = None) -> str:
+    """E7 data: multiplexor-tree cost vs fan-in."""
+    return _write(
+        ["fan_in", "tree_nodes", "mux_blocks", "code_bytes", "cycles"],
+        [[p.fan_in, p.tree_nodes, p.mux_blocks, p.code_bytes, p.cycles]
+         for p in points],
+        path)
+
+
+def blocksize_csv(points: List[BlockSizePoint],
+                  path: Optional[str] = None) -> str:
+    """E6 data: block geometry ablation."""
+    return _write(
+        ["block_words", "exec_capacity", "store_forbidden_slots",
+         "size_ratio", "cycle_overhead"],
+        [[p.block_words, p.exec_capacity,
+          " ".join(map(str, p.store_forbidden)),
+          round(p.row.size_ratio, 4), round(p.row.cycle_overhead, 4)]
+         for p in points],
+        path)
+
+
+def cache_csv(points: List[CachePoint],
+              path: Optional[str] = None) -> str:
+    """E14 data: I-cache sensitivity."""
+    return _write(
+        ["icache_lines", "icache_bytes", "vanilla_cycles", "sofia_cycles",
+         "cycle_overhead"],
+        [[p.lines, p.cache_bytes, p.row.vanilla_cycles,
+          p.row.sofia_cycles, round(p.row.cycle_overhead, 4)]
+         for p in points],
+        path)

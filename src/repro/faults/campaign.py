@@ -1,0 +1,173 @@
+"""Fault-injection campaign runner (experiment E11, paper §V future work).
+
+For each fault specimen the campaign runs a fresh protected machine up to
+the trigger instant, injects, resumes, and classifies the outcome:
+
+``DETECTED``  the SOFIA core reset (violation before any effect),
+``MASKED``    the run completed with the golden output (fault absorbed),
+``SDC``       silent data corruption — completed with *wrong* output,
+``CRASHED``   illegal instruction / bus error trap,
+``HUNG``      exceeded the instruction budget.
+
+The headline claim under test: for faults on the *protected surface*
+(stored code, fetched words, the program counter), SOFIA converts
+silent corruption and hijacks into detection; faults on the unprotected
+surface (register file, a glitched MAC comparator) can still cause SDC —
+quantifying exactly where the paper's guarantee ends.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..crypto.keys import DeviceKeys
+from ..isa.program import AsmProgram
+from ..sim.result import Status
+from ..sim.sofia import SofiaMachine
+from ..transform.image import SofiaImage
+from ..transform.transformer import transform
+from .models import (CodeBitFlip, CombinedFault, FaultSpec, FetchGlitch,
+                     PCGlitch, RegisterFault, VerifySkip)
+
+
+class FaultOutcome(enum.Enum):
+    DETECTED = "detected"
+    MASKED = "masked"
+    SDC = "sdc"
+    CRASHED = "crashed"
+    HUNG = "hung"
+
+
+@dataclass
+class FaultResult:
+    fault: FaultSpec
+    model: str
+    outcome: FaultOutcome
+    description: str
+    status: Status
+    detail: str = ""
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregated outcome counts per fault model."""
+
+    counts: Dict[str, Dict[FaultOutcome, int]] = field(default_factory=dict)
+
+    def add(self, result: FaultResult) -> None:
+        per_model = self.counts.setdefault(
+            result.model, {o: 0 for o in FaultOutcome})
+        per_model[result.outcome] += 1
+
+    def rate(self, model: str, outcome: FaultOutcome) -> float:
+        per_model = self.counts.get(model)
+        if not per_model:
+            return 0.0
+        total = sum(per_model.values())
+        return per_model[outcome] / total if total else 0.0
+
+    def render(self) -> str:
+        header = (f"{'fault model':<16s}" + "".join(
+            f"{o.value:>10s}" for o in FaultOutcome) + f"{'total':>8s}")
+        lines = ["Fault-injection campaign (E11)", header, "-" * len(header)]
+        for model in sorted(self.counts):
+            per_model = self.counts[model]
+            total = sum(per_model.values())
+            row = f"{model:<16s}" + "".join(
+                f"{per_model[o]:>10d}" for o in FaultOutcome)
+            lines.append(row + f"{total:>8d}")
+        return "\n".join(lines)
+
+
+def run_fault(image: SofiaImage, keys: DeviceKeys, fault: FaultSpec,
+              golden_output: Sequence[int],
+              max_instructions: int = 2_000_000) -> FaultResult:
+    """Inject one fault into a fresh protected run and classify it."""
+    machine = SofiaMachine(image, keys)
+    if fault.trigger_instructions > 0:
+        machine.run(max_instructions=fault.trigger_instructions)
+    description = fault.inject(machine)
+    result = machine.run(max_instructions=max_instructions)
+    if result.status is Status.RESET:
+        outcome = FaultOutcome.DETECTED
+    elif result.status is Status.TRAP:
+        outcome = FaultOutcome.CRASHED
+    elif result.status is Status.LIMIT:
+        outcome = FaultOutcome.HUNG
+    elif result.output_ints == list(golden_output):
+        outcome = FaultOutcome.MASKED
+    else:
+        outcome = FaultOutcome.SDC
+    return FaultResult(fault=fault, model=type(fault).__name__,
+                       outcome=outcome, description=description,
+                       status=result.status,
+                       detail=str(result.violation or result.trap_reason))
+
+
+def sample_faults(image: SofiaImage, total_instructions: int,
+                  per_model: int = 25, seed: int = 2016,
+                  models: Optional[Sequence[str]] = None) -> List[FaultSpec]:
+    """Draw a randomized fault population over the run's dynamic window."""
+    rng = random.Random(seed)
+    wanted = set(models or ("CodeBitFlip", "FetchGlitch", "PCGlitch",
+                            "RegisterFault", "VerifySkip", "CombinedFault"))
+    code_limit = image.code_base + 4 * len(image.words)
+    faults: List[FaultSpec] = []
+
+    def trigger() -> int:
+        return rng.randrange(0, max(1, total_instructions))
+
+    for _ in range(per_model):
+        address = image.code_base + 4 * rng.randrange(len(image.words))
+        if "CodeBitFlip" in wanted:
+            faults.append(CodeBitFlip(trigger(), address=address,
+                                      bit=rng.randrange(32)))
+        if "FetchGlitch" in wanted:
+            faults.append(FetchGlitch(trigger(), address=address,
+                                      xor_mask=1 << rng.randrange(32)))
+        if "PCGlitch" in wanted:
+            glitch_pc = image.code_base + 4 * rng.randrange(
+                (code_limit - image.code_base) // 4)
+            faults.append(PCGlitch(trigger(), target=glitch_pc))
+        if "RegisterFault" in wanted:
+            faults.append(RegisterFault(trigger(),
+                                        reg=rng.randrange(1, 32),
+                                        bit=rng.randrange(32)))
+        if "VerifySkip" in wanted:
+            faults.append(VerifySkip(trigger()))
+        if "CombinedFault" in wanted:
+            # glitch-assisted tamper: corrupt code and the comparator in
+            # the same window (the strongest single-shot fault attack)
+            when = trigger()
+            faults.append(CombinedFault(when, parts=(
+                VerifySkip(when),
+                CodeBitFlip(when, address=address, bit=rng.randrange(32)),
+            )))
+    return faults
+
+
+def run_campaign(program: AsmProgram, keys: DeviceKeys,
+                 golden_output: Sequence[int], nonce: int = 0xFA17,
+                 per_model: int = 25, seed: int = 2016,
+                 max_instructions: int = 2_000_000
+                 ) -> "tuple[List[FaultResult], CampaignSummary]":
+    """Full campaign on one program; returns per-fault results + summary."""
+    image = transform(program, keys, nonce=nonce)
+    baseline = SofiaMachine(image, keys).run(max_instructions)
+    if list(baseline.output_ints) != list(golden_output) or not baseline.ok:
+        raise AssertionError(
+            f"golden run broken: {baseline.summary()} "
+            f"{baseline.output_ints}")
+    faults = sample_faults(image, baseline.instructions,
+                           per_model=per_model, seed=seed)
+    results = []
+    summary = CampaignSummary()
+    for fault in faults:
+        result = run_fault(image, keys, fault, golden_output,
+                           max_instructions)
+        results.append(result)
+        summary.add(result)
+    return results, summary

@@ -1,0 +1,20 @@
+"""FPGA area/timing model (Table I substitute)."""
+
+from .components import (CIPHER_PROFILES, CIPHER_ROUNDS, CipherProfile,
+                         PAPER_UNROLL, PRESENT_PROFILE, RECTANGLE_PROFILE,
+                         Component, cipher_cycles_per_op,
+                         cipher_datapath_slices, cipher_path_ns,
+                         leon3_components, sofia_components)
+from .design import (CipherChoice, HardwareDesign, Table1, Table1Row,
+                     UnrollPoint, cipher_ablation, sofia_design, table1,
+                     unroll_ablation, vanilla_design)
+
+__all__ = [
+    "Component", "leon3_components", "sofia_components",
+    "cipher_datapath_slices", "cipher_path_ns", "cipher_cycles_per_op",
+    "CIPHER_ROUNDS", "PAPER_UNROLL",
+    "CipherProfile", "CIPHER_PROFILES", "RECTANGLE_PROFILE",
+    "PRESENT_PROFILE", "CipherChoice", "cipher_ablation",
+    "HardwareDesign", "vanilla_design", "sofia_design",
+    "Table1", "Table1Row", "table1", "UnrollPoint", "unroll_ablation",
+]

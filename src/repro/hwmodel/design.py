@@ -1,0 +1,161 @@
+"""Whole-design area/clock aggregation and the Table I report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .components import (CIPHER_PROFILES, CipherProfile, Component,
+                         PAPER_UNROLL, cipher_cycles_per_op,
+                         leon3_components, sofia_components)
+
+
+@dataclass(frozen=True)
+class HardwareDesign:
+    """A synthesized design: component list + derived totals."""
+
+    name: str
+    components: List[Component]
+
+    @property
+    def total_slices(self) -> int:
+        return sum(c.slices for c in self.components)
+
+    @property
+    def critical_path_ns(self) -> float:
+        return max(c.path_ns for c in self.components)
+
+    @property
+    def clock_mhz(self) -> float:
+        return 1000.0 / self.critical_path_ns
+
+    def report(self) -> str:
+        lines = [f"== {self.name} =="]
+        lines.extend(str(c) for c in self.components)
+        lines.append(f"{'total':<28s} {self.total_slices:>6d} slices  "
+                     f"{self.critical_path_ns:5.2f} ns "
+                     f"({self.clock_mhz:.1f} MHz)")
+        return "\n".join(lines)
+
+
+def vanilla_design() -> HardwareDesign:
+    """The unmodified LEON3 (Table I row 'Vanilla')."""
+    return HardwareDesign("LEON3 (vanilla)", leon3_components())
+
+
+def sofia_design(unroll: int = PAPER_UNROLL) -> HardwareDesign:
+    """LEON3 + SOFIA (Table I row 'SOFIA')."""
+    return HardwareDesign(f"LEON3 + SOFIA (unroll={unroll})",
+                          leon3_components() + sofia_components(unroll))
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    design: str
+    slices: int
+    clock_mhz: float
+
+
+@dataclass(frozen=True)
+class Table1:
+    """The paper's Table I plus derived overhead percentages."""
+
+    vanilla: Table1Row
+    sofia: Table1Row
+
+    @property
+    def area_overhead(self) -> float:
+        """Fractional slice increase (paper: 0.282)."""
+        return self.sofia.slices / self.vanilla.slices - 1.0
+
+    @property
+    def clock_slowdown(self) -> float:
+        """Fractional clock-period increase (paper: 'clock is 84.6% slower')."""
+        return self.vanilla.clock_mhz / self.sofia.clock_mhz - 1.0
+
+    @property
+    def clock_ratio(self) -> float:
+        """f_vanilla / f_sofia — the execution-time multiplier."""
+        return self.vanilla.clock_mhz / self.sofia.clock_mhz
+
+    def render(self) -> str:
+        lines = [
+            "Table I: hardware comparison of SOFIA and LEON3",
+            f"{'Design':<10s} {'Slices':>8s} {'Clock speed':>12s}",
+            f"{self.vanilla.design:<10s} {self.vanilla.slices:>8,d} "
+            f"{self.vanilla.clock_mhz:>9.1f} MHz",
+            f"{self.sofia.design:<10s} {self.sofia.slices:>8,d} "
+            f"{self.sofia.clock_mhz:>9.1f} MHz",
+            f"area overhead:   {self.area_overhead:+.1%} (paper: +28.2%)",
+            f"clock slowdown:  {self.clock_slowdown:+.1%} (paper: +84.6%)",
+        ]
+        return "\n".join(lines)
+
+
+def table1(unroll: int = PAPER_UNROLL) -> Table1:
+    """Regenerate Table I from the component model."""
+    vanilla = vanilla_design()
+    sofia = sofia_design(unroll)
+    return Table1(
+        vanilla=Table1Row("Vanilla", vanilla.total_slices, vanilla.clock_mhz),
+        sofia=Table1Row("SOFIA", sofia.total_slices, sofia.clock_mhz))
+
+
+@dataclass(frozen=True)
+class UnrollPoint:
+    """One point of the cipher-unroll ablation."""
+
+    unroll: int
+    slices: int
+    clock_mhz: float
+    cipher_cycles: int
+    #: does this design sustain one 64-bit cipher op per two cycles, as
+    #: required to alternate CTR and CBC without stalling fetch (§III)?
+    sustains_fetch: bool
+
+
+def unroll_ablation() -> List[UnrollPoint]:
+    """Sweep the unroll factor (design-choice ablation for §III)."""
+    points = []
+    for unroll in range(1, 27):
+        design = sofia_design(unroll)
+        cycles = cipher_cycles_per_op(unroll)
+        points.append(UnrollPoint(
+            unroll=unroll, slices=design.total_slices,
+            clock_mhz=design.clock_mhz, cipher_cycles=cycles,
+            sustains_fetch=cycles <= 2))
+    return points
+
+
+@dataclass(frozen=True)
+class CipherChoice:
+    """One cipher evaluated at its fetch-sustaining design point."""
+
+    cipher: str
+    unroll: int
+    datapath_slices: int
+    clock_mhz: float
+
+    def __str__(self) -> str:
+        return (f"{self.cipher:<14s} unroll={self.unroll:<3d} "
+                f"{self.datapath_slices:>5d} slices  "
+                f"{self.clock_mhz:5.1f} MHz")
+
+
+def cipher_ablation(cycles_budget: int = 2) -> List[CipherChoice]:
+    """Compare candidate ciphers at one operation per ``cycles_budget``.
+
+    Reproduces the design rationale behind the paper's RECTANGLE choice:
+    both ciphers are 64-bit/80-bit, but PRESENT's 31 rounds need a deeper
+    unroll to sustain the fetch stream, which costs clock frequency.
+    """
+    base_path = max(c.path_ns for c in leon3_components())
+    choices = []
+    for profile in CIPHER_PROFILES.values():
+        unroll = profile.min_sustaining_unroll(cycles_budget)
+        path = max(base_path, profile.path_ns(unroll))
+        choices.append(CipherChoice(
+            cipher=profile.name, unroll=unroll,
+            datapath_slices=profile.datapath_slices(unroll),
+            clock_mhz=1000.0 / path))
+    return sorted(choices, key=lambda c: -c.clock_mhz)

@@ -1,0 +1,30 @@
+"""SRISC disassembler — for debugging, traces and test diagnostics."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..errors import DecodingError
+from .encoding import decode
+
+
+def disassemble_word(word: int, pc: int = 0) -> str:
+    """Render one 32-bit word as assembly text (or a .word fallback)."""
+    try:
+        return decode(word, pc).render()
+    except DecodingError:
+        return f".word 0x{word:08x}"
+
+
+def disassemble(words: Iterable[int], base: int = 0) -> List[str]:
+    """Disassemble a word sequence into annotated lines."""
+    lines = []
+    for index, word in enumerate(words):
+        pc = base + 4 * index
+        lines.append(f"{pc:08x}:  {word:08x}  {disassemble_word(word, pc)}")
+    return lines
+
+
+def dump(words: Iterable[int], base: int = 0) -> str:
+    """Full-text disassembly listing."""
+    return "\n".join(disassemble(words, base))

@@ -1,0 +1,65 @@
+"""SRISC register file names and ABI conventions.
+
+SRISC (the SPARC-flavored RISC substrate standing in for the LEON3's
+SPARCv8, see DESIGN.md) has 32 general-purpose 32-bit registers.  ``r0`` is
+hard-wired to zero.  The ABI used by the assembler, the minicc compiler and
+the examples:
+
+====== ========= =====================================
+reg    alias     role
+====== ========= =====================================
+r0     zero      constant zero
+r1     ra        return address (written by call/jalr)
+r2     sp        stack pointer (grows down)
+r3     fp        frame pointer
+r4-11  a0-a7     arguments / return value in a0
+r12-19 t0-t7     caller-saved temporaries
+r20-27 s0-s7     callee-saved
+r28-30 t8-t10    extra caller-saved temporaries
+r31    at        assembler/transformer scratch
+====== ========= =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+NUM_REGISTERS = 32
+
+ZERO = 0
+RA = 1
+SP = 2
+FP = 3
+A0 = 4
+T0 = 12
+S0 = 20
+AT = 31
+
+#: alias -> register number
+ALIASES: Dict[str, int] = {"zero": 0, "ra": 1, "sp": 2, "fp": 3, "at": 31}
+ALIASES.update({f"a{i}": 4 + i for i in range(8)})
+ALIASES.update({f"t{i}": 12 + i for i in range(8)})
+ALIASES.update({f"s{i}": 20 + i for i in range(8)})
+ALIASES.update({f"t{8 + i}": 28 + i for i in range(3)})
+ALIASES.update({f"r{i}": i for i in range(NUM_REGISTERS)})
+
+#: register number -> preferred disassembly name
+NAMES = [f"r{i}" for i in range(NUM_REGISTERS)]
+for _alias, _num in ALIASES.items():
+    if not _alias.startswith("r"):
+        NAMES[_num] = _alias
+
+
+def parse_register(token: str) -> int:
+    """Parse a register token (``r7``, ``a0``, ``sp``...) to its number."""
+    reg = ALIASES.get(token.lower())
+    if reg is None:
+        raise ValueError(f"unknown register {token!r}")
+    return reg
+
+
+def register_name(number: int) -> str:
+    """Preferred symbolic name for a register number."""
+    if not 0 <= number < NUM_REGISTERS:
+        raise ValueError(f"register number {number} out of range")
+    return NAMES[number]

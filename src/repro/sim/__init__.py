@@ -1,0 +1,25 @@
+"""Processor simulation substrate (vanilla LEON3-like core + SOFIA core)."""
+
+from .cache import CacheStats, DirectMappedCache
+from .core import CPUState, ExecOutcome, execute, to_signed
+from .memory import Memory, MMIODevice
+from .result import ExecutionResult, Status, ViolationRecord
+from .sofia import SofiaMachine, run_image
+from .trace import (TraceEntry, diff_traces, list_image, trace_sofia,
+                    trace_vanilla)
+from .timing import (DEFAULT_TIMING, LEON3_MINIMAL_TIMING, TimingParams,
+                     instruction_cycles)
+from .vanilla import VanillaMachine, run_executable
+
+__all__ = [
+    "CPUState", "ExecOutcome", "execute", "to_signed",
+    "Memory", "MMIODevice",
+    "DirectMappedCache", "CacheStats",
+    "ExecutionResult", "Status", "ViolationRecord",
+    "VanillaMachine", "run_executable",
+    "SofiaMachine", "run_image",
+    "TimingParams", "DEFAULT_TIMING", "LEON3_MINIMAL_TIMING",
+    "instruction_cycles",
+    "TraceEntry", "trace_vanilla", "trace_sofia", "diff_traces",
+    "list_image",
+]

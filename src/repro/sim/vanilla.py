@@ -1,0 +1,110 @@
+"""Vanilla (unprotected) LEON3-like machine.
+
+Executes a plain :class:`~repro.isa.program.Executable` with the shared
+functional core and cycle model.  This is the paper's baseline processor:
+it happily runs injected or tampered code — the attack suite uses exactly
+that property for its differential experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import DecodingError, SimulationError
+from ..isa.encoding import decode
+from ..isa.instructions import Instruction
+from ..isa.program import Executable
+from .cache import DirectMappedCache
+from .core import CPUState, execute
+from .memory import Memory
+from .result import ExecutionResult, Status
+from .timing import DEFAULT_TIMING, TimingParams, instruction_cycles
+
+
+class VanillaMachine:
+    """Functional + cycle-accounting simulator of the unmodified core."""
+
+    def __init__(self, executable: Executable,
+                 timing: TimingParams = DEFAULT_TIMING) -> None:
+        self.executable = executable
+        self.timing = timing
+        self.memory = Memory(executable.code_words,
+                             code_base=executable.code_base,
+                             data=executable.data,
+                             data_base=executable.data_base)
+        self.icache = DirectMappedCache(timing.icache_lines,
+                                        timing.icache_line_words)
+        self.state = CPUState.reset(executable.entry)
+        self._decoded: Dict[int, Instruction] = {}
+        #: optional tracing hook, called as on_commit(pc, instr) after each
+        #: committed instruction (see repro.sim.trace)
+        self.on_commit = None
+        # any code write invalidates decoded instructions (self-modifying
+        # code / injection attacks must see their new bytes)
+        self.memory.add_code_listener(self._on_code_write)
+
+    def _on_code_write(self, address: int) -> None:
+        self._decoded.pop(address, None)
+
+    def _fetch_decode(self, pc: int) -> Instruction:
+        cached = self._decoded.get(pc)
+        if cached is not None:
+            return cached
+        word = self.memory.fetch_word(pc)
+        instr = decode(word, pc)
+        self._decoded[pc] = instr
+        return instr
+
+    def run(self, max_instructions: int = 50_000_000) -> ExecutionResult:
+        """Run to completion (halt/exit/trap) or the instruction budget."""
+        state = self.state
+        memory = self.memory
+        timing = self.timing
+        icache = self.icache
+        mmio = memory.mmio
+        cycles = 0
+        executed = 0
+        status = Status.LIMIT
+        trap_reason = ""
+        while executed < max_instructions:
+            pc = state.pc
+            try:
+                instr = self._fetch_decode(pc)
+            except (DecodingError, SimulationError) as exc:
+                status, trap_reason = Status.TRAP, str(exc)
+                break
+            fetch_cycles = 1
+            if not icache.access(pc):
+                fetch_cycles += timing.icache_miss_penalty
+            try:
+                outcome = execute(instr, state, memory, pc)
+            except SimulationError as exc:
+                status, trap_reason = Status.TRAP, str(exc)
+                break
+            executed += 1
+            # bottleneck model (same as the SOFIA core): the fetch of this
+            # word overlaps with execution stalls of earlier instructions
+            cycles += max(fetch_cycles,
+                          instruction_cycles(instr, timing,
+                                             outcome.branch_taken))
+            if self.on_commit is not None:
+                self.on_commit(pc, instr)
+            if outcome.halted:
+                status = Status.HALT
+                break
+            if mmio.exit_requested:
+                status = Status.EXIT
+                break
+            state.pc = outcome.next_pc if outcome.next_pc is not None else pc + 4
+        return ExecutionResult(status=status, cycles=cycles,
+                               instructions=executed,
+                               exit_code=mmio.exit_code, mmio=mmio,
+                               trap_reason=trap_reason,
+                               icache=icache.stats)
+
+
+def run_executable(executable: Executable,
+                   timing: TimingParams = DEFAULT_TIMING,
+                   max_instructions: int = 50_000_000) -> ExecutionResult:
+    """Convenience one-shot runner."""
+    return VanillaMachine(executable, timing).run(max_instructions)

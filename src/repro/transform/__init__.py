@@ -1,0 +1,23 @@
+"""SOFIA binary transformation toolchain."""
+
+from .blocks import Block, BlockKind, EntryAssignment
+from .config import DEFAULT_CONFIG, TransformConfig
+from .encrypt import block_plain_words, seal, word_prev_pcs
+from .image import BlockRecord, SofiaImage
+from .layout import Layout, LayoutStats, build_layout
+from .transformer import (canonicalize_returns, prepare,
+                          rewrite_indirect_returns, transform)
+from .renonce import reencrypt
+from .verify import Finding, ImageVerifier, verify_image
+
+__all__ = [
+    "Block", "BlockKind", "EntryAssignment",
+    "TransformConfig", "DEFAULT_CONFIG",
+    "Layout", "LayoutStats", "build_layout",
+    "SofiaImage", "BlockRecord",
+    "seal", "block_plain_words", "word_prev_pcs",
+    "transform", "prepare", "canonicalize_returns",
+    "rewrite_indirect_returns",
+    "verify_image", "ImageVerifier", "Finding",
+    "reencrypt",
+]

@@ -1,0 +1,93 @@
+"""Transformation parameters.
+
+The paper fixes both block types at eight 32-bit words (2 MAC words + 6
+instructions for execution blocks, 3 MAC words + 5 instructions for
+multiplexor blocks) and derives the store-slot restriction from the LEON3's
+7-stage pipeline: integrity verification completes when the last word of a
+block is in IF, at which point the instruction in payload slot ``s`` is in
+pipeline stage ``capacity - s``; a store must not yet have reached the
+Memory Access stage (stage 5 of IF ID OF EXE MA XCP WB), so slots
+``s < capacity - 4`` cannot hold stores (paper Figs. 5/6).
+
+``TransformConfig`` exposes the block size and pipeline geometry so the
+block-size ablation (experiment E6) can rebuild binaries with 4-instruction
+blocks and verify that the restriction disappears, exactly as Fig. 5 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..isa.program import CODE_BASE
+
+#: Stage number of Memory Access in the 7-stage LEON3 pipeline (1-based).
+MA_STAGE = 5
+
+#: prevPC presented by the hardware on the reset edge into the entry block.
+RESET_PREV_PC = 0x0
+
+#: Sentinel prevPC used to seal the entry of unreachable blocks; it is the
+#: highest word address, which no real CTI in a small program occupies.
+UNREACHABLE_PREV_PC = ((1 << 24) - 1) << 2
+
+
+@dataclass(frozen=True)
+class TransformConfig:
+    """Parameters of the SOFIA binary transformation."""
+
+    #: total words per block (MAC words + instructions)
+    block_words: int = 8
+    code_base: int = CODE_BASE
+    reset_prev_pc: int = RESET_PREV_PC
+    unreachable_prev_pc: int = UNREACHABLE_PREV_PC
+    #: pipeline stage of Memory Access (controls store-slot restriction)
+    ma_stage: int = MA_STAGE
+    #: toolchain optimization (paper §V future work): instead of padding a
+    #: forbidden store slot with a nop, hoist the next *independent* ALU
+    #: instruction in front of the store.  Off by default to keep the
+    #: paper-faithful transformation; the E12 ablation measures the gain.
+    schedule_stores: bool = False
+
+    def __post_init__(self) -> None:
+        if self.block_words < 5:
+            # a multiplexor block needs 3 MAC words + at least a jmp slot,
+            # and an execution block needs room for a CTI.
+            raise ValueError("block_words must be at least 5")
+        if self.code_base % self.block_bytes:
+            raise ValueError("code_base must be block aligned")
+
+    @property
+    def block_bytes(self) -> int:
+        return 4 * self.block_words
+
+    @property
+    def exec_capacity(self) -> int:
+        """Instructions per execution block (2 MAC words)."""
+        return self.block_words - 2
+
+    @property
+    def mux_capacity(self) -> int:
+        """Instructions per multiplexor block (3 MAC words)."""
+        return self.block_words - 3
+
+    def store_forbidden_slots(self, capacity: int) -> Tuple[int, ...]:
+        """Payload slots that may not hold store instructions.
+
+        When the block's last word is fetched (verification point), payload
+        slot ``s`` sits in stage ``capacity - s``; forbid slots that would
+        already have reached the MA stage.
+        """
+        first_allowed = max(0, capacity - (self.ma_stage - 1))
+        return tuple(range(first_allowed))
+
+    @property
+    def exec_store_forbidden(self) -> Tuple[int, ...]:
+        return self.store_forbidden_slots(self.exec_capacity)
+
+    @property
+    def mux_store_forbidden(self) -> Tuple[int, ...]:
+        return self.store_forbidden_slots(self.mux_capacity)
+
+
+DEFAULT_CONFIG = TransformConfig()

@@ -1,0 +1,109 @@
+"""MAC-then-Encrypt sealing of a laid-out block program (paper §II-C).
+
+For every block the plaintext payload instructions are encoded at their
+final addresses, a CBC-MAC is computed over them (key k2 for execution
+blocks, k3 for multiplexor blocks), the MAC words are interleaved
+(``M1 M2 p…`` / ``M1 M1 M2 p…`` — the duplicated M1 provides the two
+multiplexor entry points, paper Fig. 7), and every word is encrypted with
+the control-flow-dependent CTR keystream:
+
+* entry words use the prevPC of their assigned inbound edge,
+* the multiplexor ``M2`` word always uses ``prevPC = addr(M1e2)``
+  (both paths agree on this — paper Fig. 8's footnote),
+* every other word chains on its predecessor word's address.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..crypto.cbcmac import mac_words
+from ..crypto.ctr import EdgeKeystream
+from ..crypto.keys import DeviceKeys
+from ..errors import EncodingError, TransformError
+from ..isa.encoding import encode
+from ..isa.program import AsmProgram, DATA_BASE, resolve_data_references
+from .blocks import Block, BlockKind
+from .image import BlockRecord, SofiaImage
+from .layout import Layout
+
+
+def encode_block_payload(block: Block) -> List[int]:
+    """Encode a block's payload instructions at their final addresses."""
+    words = []
+    for slot, instr in enumerate(block.payload):
+        pc = block.payload_address(slot)
+        try:
+            words.append(encode(instr, pc))
+        except EncodingError as exc:
+            raise TransformError(
+                f"cannot encode {instr.mnemonic!r} at 0x{pc:08x}: {exc}"
+            ) from exc
+    return words
+
+
+def block_plain_words(block: Block, keys: DeviceKeys) -> List[int]:
+    """MAC words + payload words, in block layout order (plaintext)."""
+    payload_words = encode_block_payload(block)
+    if block.kind is BlockKind.EXEC:
+        m1, m2 = mac_words(keys.exec_mac_cipher, payload_words)
+        return [m1, m2] + payload_words
+    m1, m2 = mac_words(keys.mux_mac_cipher, payload_words)
+    return [m1, m1, m2] + payload_words
+
+
+def word_prev_pcs(block: Block, entry_prevs: List[int]) -> List[int]:
+    """prevPC used to encrypt each word of the block, in layout order."""
+    prevs: List[int] = []
+    total = block.kind.mac_words + block.capacity
+    if block.kind is BlockKind.EXEC:
+        prevs.append(entry_prevs[0])
+        for j in range(1, total):
+            prevs.append(block.base + 4 * (j - 1))
+        return prevs
+    if len(entry_prevs) == 1:
+        # a mux block always has two sealed entries; a single entry can
+        # only happen through a construction bug.
+        raise TransformError("multiplexor block with a single entry")
+    prevs.append(entry_prevs[0])          # M1e1: first predecessor
+    prevs.append(entry_prevs[1])          # M1e2: second predecessor
+    prevs.append(block.base + 4)          # M2 chains on addr(M1e2), both paths
+    for j in range(3, total):
+        prevs.append(block.base + 4 * (j - 1))
+    return prevs
+
+
+def seal(layout: Layout, program: AsmProgram, keys: DeviceKeys,
+         nonce: int, data_base: int = DATA_BASE) -> SofiaImage:
+    """Produce the encrypted :class:`SofiaImage` for a layout."""
+    keystream = EdgeKeystream(keys.encryption_cipher, nonce)
+    words: List[int] = []
+    records: List[BlockRecord] = []
+    for block in layout.blocks:
+        plain = block_plain_words(block, keys)
+        entry_prevs = layout.entry_prev_pcs(block)
+        prevs = word_prev_pcs(block, entry_prevs)
+        for j, (word, prev) in enumerate(zip(plain, prevs)):
+            address = block.base + 4 * j
+            words.append(keystream.encrypt_word(word, prev, address))
+        records.append(BlockRecord(
+            base=block.base, kind=block.kind.value, capacity=block.capacity,
+            labels=tuple(block.labels), leader=block.leader,
+            is_forwarder=block.is_forwarder,
+            plain_payload=tuple(plain[block.kind.mac_words:]),
+            entry_prev_pcs=tuple(entry_prevs)))
+    symbols: Dict[str, int] = dict(resolve_data_references(program, data_base))
+    for label, index in program.labels.items():
+        located = layout.block_of_instr.get(index)
+        if located is None:
+            continue
+        block, slot = located
+        if block.leader == index:
+            symbols[label] = block.base       # the block's entry
+        else:
+            symbols[label] = block.payload_address(slot)
+    return SofiaImage(words=words, code_base=layout.config.code_base,
+                      nonce=nonce, entry=layout.entry_address,
+                      data=bytes(program.data), data_base=data_base,
+                      block_words=layout.config.block_words,
+                      blocks=records, stats=layout.stats, symbols=symbols)

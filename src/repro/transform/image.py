@@ -1,0 +1,114 @@
+"""SOFIA binary image format.
+
+A :class:`SofiaImage` is what gets flashed onto the device: encrypted code
+words, the per-binary nonce ω (stored at a fixed location in the binary,
+paper §II-A), the entry address the hardware fetches after reset, and the
+(unprotected) data section.  ``blocks`` carries per-block metadata used by
+the simulator's diagnostics and by the test-suite — a real device only sees
+``words``/``nonce``/``entry``/``data``.
+
+The byte serialization is a simple tagged container::
+
+    magic 'SOFI' | version u16 | nonce u16 | entry u32 | code_base u32 |
+    block_words u16 | reserved u16 | data_base u32 | n_code_words u32 |
+    n_data_bytes u32 | code words (u32 BE each) | data bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ImageError
+from .layout import LayoutStats
+
+MAGIC = b"SOFI"
+VERSION = 1
+_HEADER = struct.Struct(">4sHHIIHHIII")
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """Debug/evaluation metadata for one block of the image."""
+
+    base: int
+    kind: str                      # "exec" | "mux"
+    capacity: int
+    labels: tuple = ()
+    leader: Optional[int] = None
+    is_forwarder: bool = False
+    #: plaintext payload words (never present on a production image)
+    plain_payload: tuple = ()
+    entry_prev_pcs: tuple = ()
+
+
+@dataclass
+class SofiaImage:
+    """A transformed, MACed and encrypted SOFIA binary."""
+
+    words: List[int]
+    code_base: int
+    nonce: int
+    entry: int
+    data: bytes
+    data_base: int
+    block_words: int
+    blocks: List[BlockRecord] = field(default_factory=list)
+    stats: Optional[LayoutStats] = None
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def code_size_bytes(self) -> int:
+        """Text-section size — the paper's code-size overhead metric."""
+        return 4 * len(self.words)
+
+    @property
+    def block_bytes(self) -> int:
+        return 4 * self.block_words
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.words) // self.block_words
+
+    def word_at(self, address: int) -> int:
+        index = (address - self.code_base) // 4
+        if not 0 <= index < len(self.words):
+            raise ImageError(f"address 0x{address:08x} outside the image")
+        return self.words[index]
+
+    def block_base_of(self, address: int) -> int:
+        """Base address of the block containing ``address``."""
+        offset = (address - self.code_base) % self.block_bytes
+        return address - offset
+
+    def to_bytes(self) -> bytes:
+        """Serialize (without debug metadata)."""
+        header = _HEADER.pack(MAGIC, VERSION, self.nonce, self.entry,
+                              self.code_base, self.block_words, 0,
+                              self.data_base, len(self.words),
+                              len(self.data))
+        body = b"".join(w.to_bytes(4, "big") for w in self.words)
+        return header + body + self.data
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SofiaImage":
+        """Deserialize an image produced by :meth:`to_bytes`."""
+        if len(blob) < _HEADER.size:
+            raise ImageError("image too short for header")
+        (magic, version, nonce, entry, code_base, block_words, _reserved,
+         data_base, n_words, n_data) = _HEADER.unpack_from(blob)
+        if magic != MAGIC:
+            raise ImageError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise ImageError(f"unsupported image version {version}")
+        offset = _HEADER.size
+        need = offset + 4 * n_words + n_data
+        if len(blob) < need:
+            raise ImageError("image truncated")
+        words = [int.from_bytes(blob[offset + 4 * i: offset + 4 * i + 4], "big")
+                 for i in range(n_words)]
+        data = blob[offset + 4 * n_words: need]
+        return cls(words=words, code_base=code_base, nonce=nonce,
+                   entry=entry, data=data, data_base=data_base,
+                   block_words=block_words)

@@ -1,0 +1,71 @@
+"""Re-encryption under a fresh nonce — the software-update tool.
+
+The paper requires ω to be "unique across different programs and different
+program versions of an encrypted program" (§II-A).  When the provider
+ships an update (or rotates the nonce of an unchanged binary, e.g. after a
+key-exposure scare), the image must be decrypted along its sealed edges
+and re-encrypted with the new counter values.  Only the provider can do
+this — it needs k1 — which is exactly the copyright/anti-cloning property
+the paper claims.
+
+``reencrypt`` keeps everything but the keystream: same blocks, same MACs
+(the MACs cover plaintext, which is unchanged), new ciphertext everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from ..crypto.ctr import EdgeKeystream
+from ..crypto.keys import DeviceKeys
+from ..errors import ImageError
+from .image import SofiaImage
+from .verify import ImageVerifier
+
+
+def reencrypt(image: SofiaImage, keys: DeviceKeys,
+              new_nonce: int) -> SofiaImage:
+    """Produce the same program sealed under ``new_nonce``.
+
+    Requires the transformer's block metadata (the provider keeps it with
+    the build artifacts).  The result verifies under the same keys and
+    runs identically; no two words of ciphertext survive unchanged
+    (distinct nonces give independent keystreams).
+    """
+    if not image.blocks:
+        raise ImageError("re-encryption needs the block metadata")
+    if new_nonce == image.nonce:
+        raise ImageError("the new nonce must differ from the current one")
+    verifier = ImageVerifier(image, keys)
+    new_stream = EdgeKeystream(keys.encryption_cipher, new_nonce)
+    words: List[int] = list(image.words)
+    bw = image.block_words
+    for record in image.blocks:
+        if not record.entry_prev_pcs:
+            raise ImageError(
+                f"block 0x{record.base:08x} has no sealed entry")
+        # recover the plaintext via the first sealed edge, then re-seal
+        # every word: entry words under their respective edges, the rest
+        # along the canonical chain.
+        plain_primary = verifier._decrypt_block(record, 0,
+                                                record.entry_prev_pcs[0])
+        base = record.base
+        base_index = (base - image.code_base) // 4
+        if record.kind == "exec":
+            prevs = [record.entry_prev_pcs[0]] + [
+                base + 4 * (j - 1) for j in range(1, bw)]
+            plaintext = plain_primary
+        else:
+            # path-1 decryption leaves index 1 (M1e2) unrecovered; it is a
+            # copy of M1, so take it from index 0.
+            plaintext = list(plain_primary)
+            plaintext[1] = plain_primary[0]
+            prevs = ([record.entry_prev_pcs[0], record.entry_prev_pcs[1],
+                      base + 4] + [base + 4 * (j - 1)
+                                   for j in range(3, bw)])
+        for j in range(bw):
+            address = base + 4 * j
+            words[base_index + j] = new_stream.encrypt_word(
+                plaintext[j], prevs[j], address)
+    return replace(image, words=words, nonce=new_nonce)

@@ -1,0 +1,22 @@
+"""Benchmark workloads (minicc sources + Python golden models)."""
+
+from . import (adpcm, controller, crc32, dijkstra, fir,  # noqa: F401
+               matmul, rle, sort)
+from .adpcm import make_adpcm
+from .controller import controller_reference, make_controller
+from .base import (Workload, all_workloads, make_workload, pcm_signal,
+                   workload_names)
+from .crc32 import crc32_reference, make_crc32
+from .dijkstra import dijkstra_reference, make_dijkstra
+from .fir import fir_reference, make_fir
+from .matmul import make_matmul
+from .rle import make_rle, rle_decode, rle_encode
+from .sort import make_sort
+
+__all__ = [
+    "Workload", "make_workload", "all_workloads", "workload_names",
+    "pcm_signal", "make_adpcm", "make_crc32", "crc32_reference",
+    "make_fir", "fir_reference", "make_sort", "make_matmul",
+    "make_dijkstra", "dijkstra_reference", "make_rle", "rle_encode",
+    "rle_decode", "make_controller", "controller_reference",
+]

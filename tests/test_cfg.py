@@ -1,0 +1,184 @@
+"""Tests for the instruction-level CFG builder and analyses."""
+
+import pytest
+
+from repro.cfg import (RESET_NODE, build_cfg, fan_in,
+                       multi_predecessor_nodes, stats, unreachable_nodes)
+from repro.cfg.graph import ControlFlowGraph, Edge
+from repro.errors import CFGError
+from repro.isa import parse
+
+
+def edges_of(cfg, kind=None):
+    return {(e.src, e.dst) for e in cfg.edges
+            if kind is None or e.kind == kind}
+
+
+class TestGraph:
+    def test_add_edge_validates_range(self):
+        cfg = ControlFlowGraph(num_nodes=2, entry=0)
+        with pytest.raises(ValueError):
+            cfg.add_edge(0, 5, "fall")
+        with pytest.raises(ValueError):
+            cfg.add_edge(-3, 0, "fall")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Edge(0, 1, "warp")
+
+    def test_predecessor_and_successor_maps_agree(self):
+        cfg = ControlFlowGraph(num_nodes=3, entry=0)
+        cfg.add_edge(0, 1, "fall")
+        cfg.add_edge(1, 2, "fall")
+        cfg.add_edge(0, 2, "jump")
+        assert {e.dst for e in cfg.successors(0)} == {1, 2}
+        assert {e.src for e in cfg.predecessors(2)} == {0, 1}
+
+    def test_reachable(self):
+        cfg = ControlFlowGraph(num_nodes=3, entry=0)
+        cfg.add_edge(0, 1, "fall")
+        assert cfg.reachable() == {0, 1}
+
+
+class TestBuilder:
+    def test_straight_line(self):
+        cfg = build_cfg(parse("main: nop\n nop\n halt\n"))
+        assert (0, 1) in edges_of(cfg, "fall")
+        assert (1, 2) in edges_of(cfg, "fall")
+        assert (RESET_NODE, 0) in edges_of(cfg, "reset")
+
+    def test_branch_has_two_successors(self):
+        cfg = build_cfg(parse("""
+        main:
+            beq a0, a1, out
+            nop
+        out:
+            halt
+        """))
+        assert (0, 2) in edges_of(cfg, "taken")
+        assert (0, 1) in edges_of(cfg, "fall")
+
+    def test_call_and_return_edges(self):
+        program = parse("""
+        main:
+            call f
+            halt
+        f:
+            nop
+            ret
+        """)
+        cfg = build_cfg(program)
+        assert (0, 2) in edges_of(cfg, "call")
+        # f's ret (index 3) returns to the instruction after the call
+        assert (3, 1) in edges_of(cfg, "return")
+
+    def test_multiple_callers_yield_multiple_return_edges(self):
+        cfg = build_cfg(parse("""
+        main:
+            call f
+            call f
+            halt
+        f:
+            ret
+        """))
+        returns = edges_of(cfg, "return")
+        assert (3, 1) in returns and (3, 2) in returns
+
+    def test_halt_has_no_successors(self):
+        cfg = build_cfg(parse("main: halt\n"))
+        assert not cfg.successors(0)
+
+    def test_fall_off_end_rejected(self):
+        with pytest.raises(CFGError):
+            build_cfg(parse("main: nop\n addi a0, a0, 1\n"))
+
+    def test_tail_call_rejected(self):
+        # g is a real function (directly called from main); f tail-calls it
+        with pytest.raises(CFGError):
+            build_cfg(parse("""
+            main:
+                call f
+                call g
+                halt
+            f:
+                jmp g
+            g:
+                ret
+            """))
+
+    def test_intra_function_jmp_to_label_allowed(self):
+        cfg = build_cfg(parse("""
+        main:
+            call f
+            halt
+        f:
+            jmp inner
+        inner:
+            ret
+        """))
+        assert (2, 3) in edges_of(cfg, "jump")
+
+    def test_indirect_without_targets_rejected(self):
+        with pytest.raises(CFGError):
+            build_cfg(parse("""
+            main:
+                la t0, f
+                jalr ra, t0
+                halt
+            f:
+                ret
+            """))
+
+    def test_annotated_indirect_call(self):
+        cfg = build_cfg(parse("""
+        main:
+            la t0, f
+            .targets f
+            jalr ra, t0
+            halt
+        f:
+            ret
+        """))
+        assert (2, 4) in edges_of(cfg, "icall")
+        assert (4, 3) in edges_of(cfg, "return")
+
+    def test_empty_program_rejected(self):
+        program = parse("main: halt\n")
+        program.instructions = []
+        program.labels = {"main": 0}
+        with pytest.raises(CFGError):
+            build_cfg(program)
+
+
+class TestAnalysis:
+    def test_fan_in_counts_multi_pred(self):
+        cfg = build_cfg(parse("""
+        main:
+            beq a0, a1, join
+            nop
+            jmp join
+        join:
+            halt
+        """))
+        assert fan_in(cfg)[3] == 2
+        assert 3 in multi_predecessor_nodes(cfg)
+
+    def test_unreachable_nodes(self):
+        cfg = build_cfg(parse("""
+        main:
+            jmp end
+        dead:
+            nop
+            jmp end
+        end:
+            halt
+        """))
+        assert unreachable_nodes(cfg) == [1, 2]
+
+    def test_stats(self):
+        cfg = build_cfg(parse("main: nop\n halt\n"))
+        s = stats(cfg)
+        assert s.num_nodes == 2
+        assert s.reachable_nodes == 2
+        assert s.max_fan_out == 1
+        assert "nodes=2" in str(s)

@@ -1,0 +1,118 @@
+"""CLI tests (direct main() invocation, no subprocesses)."""
+
+import pytest
+
+from repro.cli import main
+
+C_SOURCE = "int main() { print_int(11 * 3); return 0; }\n"
+
+ASM_SOURCE = """
+main:
+    li t0, 0xFFFF0004
+    li t1, 99
+    sw t1, 0(t0)
+    halt
+"""
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(C_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(ASM_SOURCE)
+    return str(path)
+
+
+class TestCompileRun:
+    def test_compile_to_stdout(self, c_file, capsys):
+        assert main(["compile", c_file]) == 0
+        out = capsys.readouterr().out
+        assert ".entry __start" in out and "call main" in out
+
+    def test_compile_to_file(self, c_file, tmp_path, capsys):
+        out_file = tmp_path / "prog.s"
+        assert main(["compile", c_file, "-o", str(out_file)]) == 0
+        assert "main:" in out_file.read_text()
+
+    def test_run_c(self, c_file, capsys):
+        assert main(["run", c_file]) == 0
+        assert capsys.readouterr().out.strip() == "33"
+
+    def test_run_asm(self, asm_file, capsys):
+        assert main(["run", asm_file]) == 0
+        assert capsys.readouterr().out.strip() == "99"
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main() { return nope; }")
+        assert main(["run", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.c"]) == 1
+
+
+class TestProtectFlow:
+    def test_protect_then_run(self, c_file, tmp_path, capsys):
+        image_path = str(tmp_path / "prog.sofia")
+        assert main(["protect", c_file, "-o", image_path,
+                     "--seed", "7", "--nonce", "99"]) == 0
+        err = capsys.readouterr().err
+        assert "verified OK" in err
+        assert main(["run-protected", image_path, "--seed", "7"]) == 0
+        assert capsys.readouterr().out.strip() == "33"
+
+    def test_wrong_seed_fails_at_runtime(self, c_file, tmp_path, capsys):
+        image_path = str(tmp_path / "prog.sofia")
+        main(["protect", c_file, "-o", image_path, "--seed", "7"])
+        capsys.readouterr()
+        assert main(["run-protected", image_path, "--seed", "8"]) == 1
+        assert "reset" in capsys.readouterr().err
+
+    def test_protect_with_listing(self, asm_file, tmp_path, capsys):
+        image_path = str(tmp_path / "prog.sofia")
+        assert main(["protect", asm_file, "-o", image_path, "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "MAC word" in out and "halt" in out
+
+    def test_protect_custom_block_size(self, asm_file, tmp_path, capsys):
+        image_path = str(tmp_path / "prog.sofia")
+        assert main(["protect", asm_file, "-o", image_path,
+                     "--block-words", "6"]) == 0
+        assert main(["run-protected", image_path]) == 0
+
+
+class TestTools:
+    def test_disasm(self, asm_file, capsys):
+        assert main(["disasm", asm_file]) == 0
+        out = capsys.readouterr().out
+        assert "sw" in out and "halt" in out
+
+    def test_trace(self, asm_file, capsys):
+        assert main(["trace", asm_file, "--limit", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "lui" in out or "addi" in out
+
+    def test_experiments_table1(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "28.2%" in out
+
+    def test_experiments_unknown_name(self, capsys):
+        assert main(["experiments", "nope"]) == 2
+
+    def test_experiments_security(self, capsys):
+        assert main(["experiments", "security"]) == 0
+        assert "46,795" in capsys.readouterr().out
+
+    def test_report_written(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["report", "-o", str(out), "--scale", "tiny"]) == 0
+        text = out.read_text()
+        assert "Table I" in text and "E8" in text and "E11" in text

@@ -1,0 +1,45 @@
+"""CSV exporter tests."""
+
+import csv
+import io
+
+from repro.eval import (blocksize_csv, cache_csv, experiment_blocksize,
+                        experiment_cache, experiment_muxtree,
+                        measure_overhead, muxtree_csv, overhead_csv)
+from repro.workloads import make_workload
+
+
+def parse_csv(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestExport:
+    def test_overhead_csv_roundtrip(self, tmp_path):
+        row = measure_overhead(make_workload("crc32", "tiny"))
+        path = tmp_path / "overhead.csv"
+        text = overhead_csv([row], path=str(path))
+        assert path.read_text() == text
+        parsed = parse_csv(text)
+        assert parsed[0][0] == "workload"
+        assert parsed[1][0] == "crc32"
+        assert float(parsed[1][3]) > 1.0  # size ratio
+
+    def test_muxtree_csv(self):
+        points = experiment_muxtree(fan_ins=(2, 4))
+        parsed = parse_csv(muxtree_csv(points))
+        assert parsed[0] == ["fan_in", "tree_nodes", "mux_blocks",
+                             "code_bytes", "cycles"]
+        assert [r[0] for r in parsed[1:]] == ["2", "4"]
+
+    def test_blocksize_csv(self):
+        points = experiment_blocksize("tiny", (6, 8), "crc32")
+        parsed = parse_csv(blocksize_csv(points))
+        assert parsed[1][0] == "6" and parsed[2][0] == "8"
+        assert parsed[1][2] == ""          # no forbidden slots at 6 words
+        assert parsed[2][2] == "0 1"
+
+    def test_cache_csv(self):
+        points = experiment_cache("tiny", (32, 128), "crc32")
+        parsed = parse_csv(cache_csv(points))
+        assert len(parsed) == 3
+        assert int(parsed[1][1]) == 32 * 32

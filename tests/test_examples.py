@@ -1,0 +1,29 @@
+"""Smoke tests: every example script runs to completion in-process."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, tmp_path, monkeypatch, capsys):
+    # examples that write artifacts should do so into a temp directory
+    monkeypatch.chdir(tmp_path)
+    sys_path = list(sys.path)
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.path[:] = sys_path
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "adpcm_protection", "attack_detection",
+            "design_space", "fault_injection"} <= names

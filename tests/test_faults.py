@@ -1,0 +1,139 @@
+"""Fault-injection framework tests (paper §V future work)."""
+
+import pytest
+
+from repro.crypto import DeviceKeys
+from repro.faults import (CodeBitFlip, CombinedFault, FaultOutcome,
+                          PCGlitch, RegisterFault, VerifySkip,
+                          run_campaign, run_fault, sample_faults,
+                          with_trigger)
+from repro.isa import parse
+from repro.sim import SofiaMachine, Status
+from repro.transform import transform
+from repro.workloads import make_workload
+
+KEYS = DeviceKeys.from_seed(0xFA)
+
+PROGRAM = """
+main:
+    li t0, 0
+    li t1, 20
+loop:
+    addi t0, t0, 7
+    addi t1, t1, -1
+    bne t1, zero, loop
+    li t2, 0xFFFF0004
+    sw t0, 0(t2)
+    halt
+"""
+GOLDEN = [140]
+
+
+@pytest.fixture(scope="module")
+def image():
+    return transform(parse(PROGRAM), KEYS, nonce=0xFA17)
+
+
+class TestFaultModels:
+    def test_code_bit_flip_on_hot_block_detected(self, image):
+        fault = CodeBitFlip(trigger_instructions=5,
+                            address=image.symbols["loop"] + 8, bit=3)
+        result = run_fault(image, KEYS, fault, GOLDEN)
+        assert result.outcome is FaultOutcome.DETECTED
+
+    def test_code_bit_flip_on_cold_block_masked(self, image):
+        # flipping a bit in a block that is never fetched again is benign
+        last_block = image.code_base + 4 * (len(image.words) - 1)
+        fault = CodeBitFlip(trigger_instructions=30,
+                            address=last_block, bit=3)
+        # trigger after the loop: only the console/halt blocks remain...
+        # use the *entry* block instead, which is never re-entered
+        fault = CodeBitFlip(trigger_instructions=10,
+                            address=image.code_base, bit=3)
+        result = run_fault(image, KEYS, fault, GOLDEN)
+        assert result.outcome is FaultOutcome.MASKED
+
+    def test_pc_glitch_detected(self, image):
+        fault = PCGlitch(trigger_instructions=8,
+                         target=image.symbols["loop"])
+        result = run_fault(image, KEYS, fault, GOLDEN)
+        # jumping to the loop entry from a foreign edge is off-CFG
+        assert result.outcome is FaultOutcome.DETECTED
+
+    def test_register_fault_can_cause_sdc(self, image):
+        # corrupt the accumulator mid-loop: completes with wrong output
+        fault = RegisterFault(trigger_instructions=10, reg=12, bit=9)
+        result = run_fault(image, KEYS, fault, GOLDEN)
+        assert result.outcome in (FaultOutcome.SDC, FaultOutcome.MASKED)
+
+    def test_verify_skip_alone_is_harmless(self, image):
+        fault = VerifySkip(trigger_instructions=5)
+        result = run_fault(image, KEYS, fault, GOLDEN)
+        assert result.outcome is FaultOutcome.MASKED
+
+    def test_glitch_assisted_tamper_defeats_detection(self, image):
+        """The combined attack: comparator glitch + code flip in the same
+        window can slip one tampered block through — the exposure the
+        paper's planned fault hardening must close."""
+        hot = image.symbols["loop"] + 12  # a payload word of the hot block
+        fault = CombinedFault(10, parts=(
+            VerifySkip(10),
+            CodeBitFlip(10, address=hot, bit=13),
+        ))
+        result = run_fault(image, KEYS, fault, GOLDEN)
+        # one traversal executes tampered code (not detected); afterwards
+        # the comparator works again, so the *next* traversal of the same
+        # tampered block is caught.
+        assert result.outcome is not FaultOutcome.MASKED
+        assert result.outcome in (FaultOutcome.DETECTED, FaultOutcome.SDC,
+                                  FaultOutcome.CRASHED, FaultOutcome.HUNG)
+
+    def test_with_trigger_copies(self):
+        fault = CodeBitFlip(0, address=4, bit=1)
+        moved = with_trigger(fault, 99)
+        assert moved.trigger_instructions == 99
+        assert moved.address == 4
+
+
+class TestCampaign:
+    def test_campaign_on_workload(self):
+        wl = make_workload("crc32", "tiny")
+        results, summary = run_campaign(wl.compile().program, KEYS,
+                                        wl.expected_output, per_model=6,
+                                        seed=1)
+        assert len(results) == 6 * 6  # six models
+        text = summary.render()
+        assert "CodeBitFlip" in text and "detected" in text
+
+    def test_pc_glitches_never_cause_sdc(self):
+        wl = make_workload("crc32", "tiny")
+        results, summary = run_campaign(wl.compile().program, KEYS,
+                                        wl.expected_output, per_model=12,
+                                        seed=7)
+        pc_results = [r for r in results if r.model == "PCGlitch"]
+        assert pc_results
+        # control-flow faults land on the protected surface: they are
+        # detected or (rarely) masked, but never silently corrupt data
+        for r in pc_results:
+            assert r.outcome in (FaultOutcome.DETECTED, FaultOutcome.MASKED,
+                                 FaultOutcome.HUNG), r.description
+
+    def test_summary_rates(self):
+        wl = make_workload("crc32", "tiny")
+        _, summary = run_campaign(wl.compile().program, KEYS,
+                                  wl.expected_output, per_model=5, seed=3)
+        rate = summary.rate("PCGlitch", FaultOutcome.DETECTED)
+        assert 0.0 <= rate <= 1.0
+        assert summary.rate("NoSuchModel", FaultOutcome.SDC) == 0.0
+
+    def test_golden_mismatch_rejected(self):
+        wl = make_workload("crc32", "tiny")
+        with pytest.raises(AssertionError):
+            run_campaign(wl.compile().program, KEYS, [123456789],
+                         per_model=1)
+
+    def test_sample_faults_respects_model_filter(self, image):
+        faults = sample_faults(image, 100, per_model=3,
+                               models=("PCGlitch",))
+        assert len(faults) == 3
+        assert all(type(f).__name__ == "PCGlitch" for f in faults)

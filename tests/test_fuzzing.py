@@ -1,0 +1,135 @@
+"""Robustness fuzzing: decoders, parsers and containers never crash badly.
+
+These property tests pin down *total* behaviour of the input-facing
+surfaces: arbitrary bytes/words either parse cleanly or raise the
+documented library exception — never an unrelated Python error.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc import compile_source, tokenize
+from repro.errors import (AssemblyError, CompileError, DecodingError,
+                          ImageError, ReproError)
+from repro.isa import decode, disassemble_word, parse
+from repro.transform import SofiaImage
+
+
+class TestDecodeFuzz:
+    @given(word=st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @settings(max_examples=300, deadline=None)
+    def test_decode_total(self, word):
+        try:
+            instr = decode(word, 0x100)
+            # decoded instructions re-render to valid assembly text
+            assert instr.render()
+        except DecodingError:
+            pass
+
+    @given(word=st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @settings(max_examples=100, deadline=None)
+    def test_disassembler_total(self, word):
+        text = disassemble_word(word, 0)
+        assert isinstance(text, str) and text
+
+
+class TestAssemblerFuzz:
+    @given(text=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=120))
+    @settings(max_examples=150, deadline=None)
+    def test_parser_raises_only_assembly_errors(self, text):
+        try:
+            parse("main: halt\n" + text)
+        except AssemblyError:
+            pass
+
+    @given(lines=st.lists(st.sampled_from([
+        "add a0, a1, a2", "beq a0, a1, main", "lw t0, 4(sp)",
+        ".data", ".word 1", "x: .word 2", ".text", "jmp main",
+        "li t1, 0x123456", "ret", "call main",
+    ]), max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_plausible_fragments(self, lines):
+        source = "main: halt\n" + "\n".join(lines) + "\n"
+        try:
+            parse(source)
+        except AssemblyError:
+            pass
+
+
+class TestCompilerFuzz:
+    @given(text=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=100))
+    @settings(max_examples=150, deadline=None)
+    def test_compiler_raises_only_compile_errors(self, text):
+        try:
+            compile_source(text)
+        except CompileError:
+            pass
+
+    @given(text=st.text(max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_lexer_total(self, text):
+        try:
+            tokens = tokenize(text)
+            assert tokens[-1].kind == "eof"
+        except CompileError:
+            pass
+
+
+class TestImageFuzz:
+    @given(blob=st.binary(max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_from_bytes_total(self, blob):
+        try:
+            SofiaImage.from_bytes(blob)
+        except ImageError:
+            pass
+
+    @given(prefix_keep=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_truncations_rejected_cleanly(self, prefix_keep):
+        from repro.crypto import DeviceKeys
+        from repro.transform import transform
+        image = transform(parse("main: halt\n"),
+                          DeviceKeys.from_seed(1), nonce=1)
+        blob = image.to_bytes()
+        if prefix_keep >= len(blob):
+            return
+        with pytest.raises(ImageError):
+            SofiaImage.from_bytes(blob[:prefix_keep])
+
+
+class TestDeterminism:
+    def test_transform_is_deterministic(self):
+        from repro.crypto import DeviceKeys
+        from repro.transform import transform
+        from repro.workloads import make_workload
+        program = make_workload("sort", "tiny").compile().program
+        keys = DeviceKeys.from_seed(5)
+        a = transform(program, keys, nonce=3)
+        b = transform(program, keys, nonce=3)
+        assert a.words == b.words
+        assert a.entry == b.entry
+
+    def test_nonce_changes_every_word(self):
+        from repro.crypto import DeviceKeys
+        from repro.transform import transform
+        program = parse("main: li a0, 1\n add a0, a0, a0\n halt\n")
+        keys = DeviceKeys.from_seed(5)
+        a = transform(program, keys, nonce=1)
+        b = transform(program, keys, nonce=2)
+        differing = sum(1 for x, y in zip(a.words, b.words) if x != y)
+        assert differing == len(a.words)
+
+    def test_keys_change_every_word(self):
+        from repro.crypto import DeviceKeys
+        from repro.transform import transform
+        program = parse("main: li a0, 1\n halt\n")
+        a = transform(program, DeviceKeys.from_seed(1), nonce=1)
+        b = transform(program, DeviceKeys.from_seed(2), nonce=1)
+        differing = sum(1 for x, y in zip(a.words, b.words) if x != y)
+        assert differing == len(a.words)

@@ -1,0 +1,83 @@
+"""Hardware model tests: Table I calibration and scaling structure."""
+
+import pytest
+
+from repro.hwmodel import (CIPHER_ROUNDS, PAPER_UNROLL,
+                           cipher_cycles_per_op, cipher_datapath_slices,
+                           cipher_path_ns, sofia_design, table1,
+                           unroll_ablation, vanilla_design)
+
+
+class TestTable1:
+    def test_vanilla_matches_paper(self):
+        t = table1()
+        assert t.vanilla.slices == 5_889
+        assert round(t.vanilla.clock_mhz, 1) == 92.3
+
+    def test_sofia_matches_paper(self):
+        t = table1()
+        assert t.sofia.slices == 7_551
+        assert round(t.sofia.clock_mhz, 1) == 50.1
+
+    def test_area_overhead_28_percent(self):
+        assert round(table1().area_overhead, 3) == 0.282
+
+    def test_clock_slowdown_near_85_percent(self):
+        assert abs(table1().clock_slowdown - 0.846) < 0.01
+
+    def test_clock_ratio_for_exec_time(self):
+        # the multiplier turning cycle overhead into wall-clock overhead
+        assert 1.8 < table1().clock_ratio < 1.9
+
+    def test_render_contains_both_rows(self):
+        text = table1().render()
+        assert "Vanilla" in text and "SOFIA" in text
+        assert "28.2%" in text
+
+
+class TestComponents:
+    def test_sofia_is_vanilla_plus_additions(self):
+        extra = sofia_design().total_slices - vanilla_design().total_slices
+        assert extra == 1_662
+
+    def test_critical_path_dominated_by_cipher(self):
+        design = sofia_design()
+        assert design.critical_path_ns == pytest.approx(
+            cipher_path_ns(PAPER_UNROLL))
+
+    def test_cipher_slices_scale_linearly(self):
+        assert cipher_datapath_slices(26) == pytest.approx(
+            2 * cipher_datapath_slices(13), abs=1)
+
+    def test_invalid_unroll_rejected(self):
+        with pytest.raises(ValueError):
+            cipher_datapath_slices(0)
+        with pytest.raises(ValueError):
+            cipher_path_ns(27)
+
+    def test_report_renders(self):
+        assert "slices" in vanilla_design().report()
+
+
+class TestUnrollAblation:
+    def test_thirteen_is_the_minimum_sustaining_fetch(self):
+        points = unroll_ablation()
+        sustaining = [p.unroll for p in points if p.sustains_fetch]
+        assert min(sustaining) == PAPER_UNROLL == 13
+
+    def test_cipher_cycles_monotone_nonincreasing(self):
+        points = unroll_ablation()
+        cycles = [p.cipher_cycles for p in points]
+        assert cycles == sorted(cycles, reverse=True)
+        assert cipher_cycles_per_op(26) == 1
+        assert cipher_cycles_per_op(1) == CIPHER_ROUNDS
+
+    def test_clock_decreases_with_unroll(self):
+        points = unroll_ablation()
+        clocks = [p.clock_mhz for p in points]
+        assert all(a >= b for a, b in zip(clocks, clocks[1:]))
+
+    def test_area_increases_with_unroll(self):
+        points = unroll_ablation()
+        slices = [p.slices for p in points]
+        assert all(a <= b for a, b in zip(slices, slices[1:]))

@@ -1,0 +1,226 @@
+"""Assembler tests: parsing, pseudo-expansion, linking, error reporting."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import (DATA_BASE, assemble, assemble_text, decode,
+                       disassemble_word, parse, split_functions)
+from repro.isa.registers import parse_register, register_name
+
+
+class TestRegisters:
+    def test_aliases(self):
+        assert parse_register("zero") == 0
+        assert parse_register("ra") == 1
+        assert parse_register("sp") == 2
+        assert parse_register("a0") == 4
+        assert parse_register("t0") == 12
+        assert parse_register("s7") == 27
+        assert parse_register("r31") == 31
+
+    def test_unknown_register(self):
+        with pytest.raises(ValueError):
+            parse_register("x5")
+
+    def test_register_name_roundtrip(self):
+        for i in range(32):
+            assert parse_register(register_name(i)) == i
+
+
+class TestParsing:
+    def test_basic_program(self):
+        program = parse("""
+        main:
+            addi a0, zero, 5
+            addi a1, zero, 7
+            add a0, a0, a1
+            halt
+        """)
+        assert len(program.instructions) == 4
+        assert program.labels["main"] == 0
+        assert program.entry == "main"
+
+    def test_labels_on_same_line_and_stacked(self):
+        program = parse("""
+        main: addi a0, zero, 1
+        x:
+        y:
+            halt
+        """)
+        assert program.labels["x"] == program.labels["y"] == 1
+
+    def test_comments_stripped(self):
+        program = parse("main: nop # comment\n halt ; other\n")
+        assert [i.mnemonic for i in program.instructions] == ["nop", "halt"]
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse("main: nop\nmain: halt\n")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse("main: jmp nowhere\n")
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse("start: halt\n")
+
+    def test_start_fallback_entry(self):
+        program = parse("_start: halt\n")
+        assert program.entry == "_start"
+
+    def test_entry_directive(self):
+        program = parse(".entry boot\nboot: halt\n")
+        assert program.entry == "boot"
+
+    def test_targets_annotation_attaches_to_indirect(self):
+        program = parse("""
+        main:
+            la t0, f
+            .targets f
+            jalr ra, t0
+            halt
+        f:  ret
+        """)
+        jalr = next(i for i in program.instructions if i.mnemonic == "jalr")
+        assert jalr.targets == ("f",)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            parse("main: frob a0, a1\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            parse("main: add a0, a1\n")
+
+    def test_data_section(self):
+        program = parse("""
+        .data
+        table: .word 1, 2, 3
+        msg:   .asciz "hi"
+        buf:   .space 8
+        .align 4
+        tail:  .byte 0xFF
+        .text
+        main: halt
+        """)
+        assert program.data_symbols["table"] == 0
+        assert program.data[:12] == bytearray(
+            (1).to_bytes(4, "big") + (2).to_bytes(4, "big") + (3).to_bytes(4, "big"))
+        assert program.data[12:15] == b"hi\x00"
+        assert program.data_symbols["tail"] % 4 == 0
+
+    def test_instruction_outside_text_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse(".data\nnop\n")
+
+    def test_word_outside_data_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse("main: halt\n.word 5\n")
+
+
+class TestPseudo:
+    def test_li_small(self):
+        program = parse("main: li a0, -3\n halt\n")
+        instr = program.instructions[0]
+        assert instr.mnemonic == "addi" and instr.imm == -3
+
+    def test_li_large(self):
+        program = parse("main: li a0, 0x12345678\n halt\n")
+        names = [i.mnemonic for i in program.instructions[:2]]
+        assert names == ["lui", "ori"]
+        assert program.instructions[0].imm == 0x1234
+        assert program.instructions[1].imm == 0x5678
+
+    def test_li_high_only(self):
+        program = parse("main: li a0, 0x10000\n halt\n")
+        assert [i.mnemonic for i in program.instructions] == ["lui", "halt"]
+
+    def test_la_uses_relocs(self):
+        program = parse(".data\nv: .word 0\n.text\nmain: la t0, v\n halt\n")
+        lui, ori = program.instructions[:2]
+        assert lui.reloc == "hi" and ori.reloc == "lo"
+        assert lui.symbol == ori.symbol == "v"
+
+    def test_ret_and_branch_aliases(self):
+        program = parse("main: bgt a0, a1, out\n ret\nout: halt\n")
+        bgt = program.instructions[0]
+        assert bgt.mnemonic == "blt"
+        assert (bgt.rs1, bgt.rs2) == (parse_register("a1"), parse_register("a0"))
+        assert program.instructions[1].mnemonic == "jr"
+
+    def test_mv_neg_not_seqz(self):
+        program = parse("main: mv a0, a1\n neg a2, a3\n not a4, a5\n seqz a6, a7\n halt\n")
+        names = [i.mnemonic for i in program.instructions]
+        assert names == ["addi", "sub", "addi", "xor", "sltiu", "halt"]
+
+
+class TestAssemble:
+    def test_symbol_resolution_and_encoding(self):
+        exe = assemble_text("""
+        main:
+            jmp next
+        next:
+            beq zero, zero, main
+            halt
+        """)
+        jmp = decode(exe.code_words[0], 0)
+        assert jmp.imm == 4
+        beq = decode(exe.code_words[1], 4)
+        assert beq.imm == 0
+
+    def test_la_resolves_to_data_address(self):
+        exe = assemble_text("""
+        .data
+        v: .word 42
+        .text
+        main:
+            la t0, v
+            halt
+        """)
+        lui = decode(exe.code_words[0])
+        ori = decode(exe.code_words[1])
+        assert ((lui.imm << 16) | ori.imm) == DATA_BASE
+
+    def test_entry_address(self):
+        exe = assemble_text("boot: nop\nmain: halt\n")
+        assert exe.entry == exe.symbols["main"] == 4
+
+    def test_code_size_metric(self):
+        exe = assemble_text("main: nop\n nop\n halt\n")
+        assert exe.code_size_bytes == 12
+
+    def test_branch_out_of_range_reported_with_line(self):
+        body = "\n".join(["nop"] * 0x9000)
+        with pytest.raises(AssemblyError):
+            assemble_text(f"main: beq zero, zero, far\n{body}\nfar: halt\n")
+
+    def test_disassembler_roundtrip(self):
+        source = """
+        main:
+            addi a0, zero, 5
+            lw a1, 8(sp)
+            sw a1, -4(sp)
+            mul a2, a0, a1
+            halt
+        """
+        exe = assemble_text(source)
+        rendered = [disassemble_word(w, 4 * i) for i, w in enumerate(exe.code_words)]
+        exe2 = assemble_text("main:\n" + "\n".join(rendered))
+        assert exe2.code_words == exe.code_words
+
+
+class TestSplitFunctions:
+    def test_function_ranges(self):
+        program = parse("""
+        main:
+            call f
+            halt
+        f:
+            ret
+        """)
+        functions = split_functions(program)
+        names = [f[0] for f in functions]
+        assert names == ["main", "f"]
+        assert functions[0][1:] == (0, 2)
+        assert functions[1][1:] == (2, 3)

@@ -1,0 +1,139 @@
+"""Encode/decode tests for the SRISC ISA, including round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa import Instruction, SPECS, decode, encode, is_valid_word
+
+REG = st.integers(min_value=0, max_value=31)
+SIMM16 = st.integers(min_value=-0x8000, max_value=0x7FFF)
+UIMM16 = st.integers(min_value=0, max_value=0xFFFF)
+SHAMT = st.integers(min_value=0, max_value=31)
+
+R_MNEMONICS = sorted(m for m, s in SPECS.items() if s.fmt == "R")
+B_MNEMONICS = sorted(m for m, s in SPECS.items() if s.fmt == "B")
+LOADS = ["lw", "lh", "lhu", "lb", "lbu"]
+STORES = ["sw", "sh", "sb"]
+
+
+class TestRoundTrip:
+    @given(m=st.sampled_from(R_MNEMONICS), rd=REG, rs1=REG, rs2=REG)
+    @settings(max_examples=60, deadline=None)
+    def test_rtype(self, m, rd, rs1, rs2):
+        instr = Instruction(m, rd=rd, rs1=rs1, rs2=rs2)
+        decoded = decode(encode(instr))
+        assert (decoded.mnemonic, decoded.rd, decoded.rs1, decoded.rs2) == (m, rd, rs1, rs2)
+
+    @given(rd=REG, rs1=REG, imm=SIMM16)
+    @settings(max_examples=40, deadline=None)
+    def test_addi(self, rd, rs1, imm):
+        decoded = decode(encode(Instruction("addi", rd=rd, rs1=rs1, imm=imm)))
+        assert (decoded.rd, decoded.rs1, decoded.imm) == (rd, rs1, imm)
+
+    @given(rd=REG, rs1=REG, imm=UIMM16)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_extended_ori(self, rd, rs1, imm):
+        decoded = decode(encode(Instruction("ori", rd=rd, rs1=rs1, imm=imm)))
+        assert decoded.imm == imm
+
+    @given(rd=REG, imm=UIMM16)
+    @settings(max_examples=30, deadline=None)
+    def test_lui(self, rd, imm):
+        decoded = decode(encode(Instruction("lui", rd=rd, imm=imm)))
+        assert (decoded.rd, decoded.imm) == (rd, imm)
+
+    @given(rd=REG, rs1=REG, imm=SHAMT, m=st.sampled_from(["slli", "srli", "srai"]))
+    @settings(max_examples=30, deadline=None)
+    def test_shifts(self, rd, rs1, imm, m):
+        decoded = decode(encode(Instruction(m, rd=rd, rs1=rs1, imm=imm)))
+        assert decoded.imm == imm
+
+    @given(m=st.sampled_from(LOADS), rd=REG, rs1=REG, imm=SIMM16)
+    @settings(max_examples=40, deadline=None)
+    def test_loads(self, m, rd, rs1, imm):
+        decoded = decode(encode(Instruction(m, rd=rd, rs1=rs1, imm=imm)))
+        assert (decoded.rd, decoded.rs1, decoded.imm) == (rd, rs1, imm)
+
+    @given(m=st.sampled_from(STORES), rs2=REG, rs1=REG, imm=SIMM16)
+    @settings(max_examples=40, deadline=None)
+    def test_stores(self, m, rs2, rs1, imm):
+        decoded = decode(encode(Instruction(m, rs2=rs2, rs1=rs1, imm=imm)))
+        assert (decoded.rs2, decoded.rs1, decoded.imm) == (rs2, rs1, imm)
+
+    @given(m=st.sampled_from(B_MNEMONICS), rs1=REG, rs2=REG,
+           pc_words=st.integers(min_value=0, max_value=1 << 20),
+           offset=st.integers(min_value=-0x8000, max_value=0x7FFF))
+    @settings(max_examples=60, deadline=None)
+    def test_branches_pc_relative(self, m, rs1, rs2, pc_words, offset):
+        pc = 4 * pc_words
+        target = pc + 4 * offset
+        if target < 0:
+            return
+        instr = Instruction(m, rs1=rs1, rs2=rs2, imm=target)
+        decoded = decode(encode(instr, pc), pc)
+        assert decoded.imm == target
+
+    @given(target_words=st.integers(min_value=0, max_value=(1 << 26) - 1),
+           m=st.sampled_from(["jmp", "call"]))
+    @settings(max_examples=40, deadline=None)
+    def test_jumps_absolute(self, target_words, m):
+        target = target_words * 4
+        decoded = decode(encode(Instruction(m, imm=target)))
+        assert decoded.imm == target
+
+    def test_jr_and_jalr(self):
+        assert decode(encode(Instruction("jr", rs1=5))).rs1 == 5
+        decoded = decode(encode(Instruction("jalr", rd=1, rs1=9)))
+        assert (decoded.rd, decoded.rs1) == (1, 9)
+
+    def test_nop_and_halt(self):
+        assert decode(encode(Instruction("nop"))).mnemonic == "nop"
+        assert decode(encode(Instruction("halt"))).mnemonic == "halt"
+        assert encode(Instruction("nop")) == 0
+
+
+class TestEncodeErrors:
+    def test_branch_out_of_range(self):
+        instr = Instruction("beq", rs1=0, rs2=0, imm=4 * 0x9000)
+        with pytest.raises(EncodingError):
+            encode(instr, 0)
+
+    def test_misaligned_branch_target(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("beq", rs1=0, rs2=0, imm=6), 0)
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=1, rs1=0, imm=0x8000))
+
+    def test_zero_extended_rejects_negative(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("ori", rd=1, rs1=0, imm=-1))
+
+    def test_shift_amount_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("slli", rd=1, rs1=1, imm=32))
+
+    def test_missing_register(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("add", rd=1, rs1=2))
+
+    def test_unresolved_symbol_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("jmp", symbol="loop"))
+
+    def test_jump_target_too_large(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("jmp", imm=4 << 26))
+
+
+class TestDecodeErrors:
+    def test_invalid_opcode(self):
+        with pytest.raises(DecodingError):
+            decode(0x3F << 26)
+
+    def test_is_valid_word(self):
+        assert is_valid_word(encode(Instruction("add", rd=1, rs1=2, rs2=3)))
+        assert not is_valid_word(0xFFFFFFFF)

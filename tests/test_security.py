@@ -1,0 +1,77 @@
+"""Security-analysis tests: paper bounds exactly, Monte-Carlo scaling."""
+
+import pytest
+
+from repro.security import (attack_seconds, cfi_attack_years,
+                            expected_forgery_attempts, forgery_scaling,
+                            forgery_trials, security_report,
+                            si_forgery_years, tamper_detection,
+                            truncated_mac)
+from repro.crypto import Rectangle80
+
+
+class TestBounds:
+    def test_expected_attempts_is_2_to_n_minus_1(self):
+        assert expected_forgery_attempts(64) == 2 ** 63
+        assert expected_forgery_attempts(1) == 1
+
+    def test_si_years_matches_paper(self):
+        # paper §IV-A.1: 46,795 years on a 50 MHz core, 8-cycle attempts
+        years = si_forgery_years()
+        assert abs(years - 46_795) < 2
+
+    def test_cfi_years_matches_paper(self):
+        # paper §IV-A.2: 93,590 years (8 cycles diversion + 8 verification)
+        years = cfi_attack_years()
+        assert abs(years - 93_590) < 4
+
+    def test_cfi_is_twice_si(self):
+        assert cfi_attack_years() == pytest.approx(2 * si_forgery_years())
+
+    def test_attack_time_scales_with_clock(self):
+        slow = attack_seconds(1000, 8, 50e6)
+        fast = attack_seconds(1000, 8, 100e6)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            expected_forgery_attempts(0)
+        with pytest.raises(ValueError):
+            attack_seconds(1, 1, 0)
+
+    def test_report_mentions_both_bounds(self):
+        text = security_report().render()
+        assert "SI" in text and "CFI" in text and "years" in text
+
+
+class TestMonteCarlo:
+    def test_truncated_mac_width(self):
+        cipher = Rectangle80(1)
+        assert truncated_mac(cipher, [1, 2], 8) < 256
+        with pytest.raises(ValueError):
+            truncated_mac(cipher, [1], 0)
+
+    def test_forgery_trials_bounded_by_space(self):
+        cipher = Rectangle80(99)
+        trials = forgery_trials(cipher, [3, 4, 5], bits=6)
+        assert 1 <= trials <= 64
+
+    def test_scaling_tracks_2_to_n_minus_1(self):
+        results = forgery_scaling(bits_list=(6, 8, 10), experiments=300)
+        for r in results:
+            # the mean should be within ~25% of 2^(n-1) at 300 samples
+            assert 0.75 < r.ratio < 1.30, (r.bits, r.ratio)
+
+    def test_scaling_is_monotone_in_width(self):
+        results = forgery_scaling(bits_list=(4, 8, 12), experiments=100)
+        means = [r.mean_trials for r in results]
+        assert means[0] < means[1] < means[2]
+
+    def test_tamper_escape_rate_matches_2_to_minus_n(self):
+        escape = tamper_detection(bits=4, tampers=8000)
+        # expected 1/16 = 0.0625; binomial noise at n=8000 is ~±0.008
+        assert abs(escape.escape_rate - escape.expected_rate) < 0.03
+
+    def test_wide_mac_never_escapes_in_practice(self):
+        escape = tamper_detection(bits=32, tampers=500)
+        assert escape.undetected == 0

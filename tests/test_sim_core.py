@@ -1,0 +1,187 @@
+"""Functional semantics tests for the SRISC execution core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction
+from repro.isa.program import DATA_BASE
+from repro.sim import CPUState, Memory, execute, to_signed
+from repro.sim.core import _trunc_div
+
+I32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+S32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+@pytest.fixture
+def machine_bits():
+    state = CPUState.reset(entry=0)
+    memory = Memory(code_words=[0] * 16)
+    return state, memory
+
+
+def run_one(state, memory, instr, pc=0):
+    return execute(instr, state, memory, pc)
+
+
+class TestAlu:
+    def test_add_wraps(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, 0xFFFFFFFF)
+        state.write(6, 2)
+        run_one(state, mem, Instruction("add", rd=7, rs1=5, rs2=6))
+        assert state.read(7) == 1
+
+    def test_sub_wraps(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, 0)
+        state.write(6, 1)
+        run_one(state, mem, Instruction("sub", rd=7, rs1=5, rs2=6))
+        assert state.read(7) == 0xFFFFFFFF
+
+    def test_r0_is_immutable(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, 9)
+        run_one(state, mem, Instruction("add", rd=0, rs1=5, rs2=5))
+        assert state.read(0) == 0
+
+    def test_sra_sign_extends(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, 0x80000000)
+        state.write(6, 4)
+        run_one(state, mem, Instruction("sra", rd=7, rs1=5, rs2=6))
+        assert state.read(7) == 0xF8000000
+
+    def test_srl_zero_extends(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, 0x80000000)
+        state.write(6, 4)
+        run_one(state, mem, Instruction("srl", rd=7, rs1=5, rs2=6))
+        assert state.read(7) == 0x08000000
+
+    def test_shift_amount_masked_to_5_bits(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, 1)
+        state.write(6, 33)
+        run_one(state, mem, Instruction("sll", rd=7, rs1=5, rs2=6))
+        assert state.read(7) == 2
+
+    def test_slt_signed_vs_sltu_unsigned(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, 0xFFFFFFFF)  # -1 signed, huge unsigned
+        state.write(6, 1)
+        run_one(state, mem, Instruction("slt", rd=7, rs1=5, rs2=6))
+        assert state.read(7) == 1
+        run_one(state, mem, Instruction("sltu", rd=7, rs1=5, rs2=6))
+        assert state.read(7) == 0
+
+    def test_lui_ori_builds_constant(self, machine_bits):
+        state, mem = machine_bits
+        run_one(state, mem, Instruction("lui", rd=5, imm=0xDEAD))
+        run_one(state, mem, Instruction("ori", rd=5, rs1=5, imm=0xBEEF))
+        assert state.read(5) == 0xDEADBEEF
+
+    @given(a=S32, b=S32)
+    @settings(max_examples=60, deadline=None)
+    def test_div_rem_c_semantics(self, a, b):
+        if b == 0:
+            return
+        # the C identity: a == (a/b)*b + a%b, remainder has dividend's sign
+        q = _trunc_div(a, b)
+        r = a - b * q
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+
+    def test_div_by_zero(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, 42)
+        run_one(state, mem, Instruction("div", rd=7, rs1=5, rs2=0))
+        assert state.read(7) == 0xFFFFFFFF
+        run_one(state, mem, Instruction("rem", rd=7, rs1=5, rs2=0))
+        assert state.read(7) == 42
+
+    def test_div_negative_truncates_toward_zero(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, (-7) & 0xFFFFFFFF)
+        state.write(6, 2)
+        run_one(state, mem, Instruction("div", rd=7, rs1=5, rs2=6))
+        assert to_signed(state.read(7)) == -3  # C: -7/2 == -3, not -4
+        run_one(state, mem, Instruction("rem", rd=7, rs1=5, rs2=6))
+        assert to_signed(state.read(7)) == -1
+
+
+class TestMemoryOps:
+    def test_store_load_roundtrip(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, DATA_BASE)
+        state.write(6, 0xCAFEBABE)
+        run_one(state, mem, Instruction("sw", rs2=6, rs1=5, imm=8))
+        run_one(state, mem, Instruction("lw", rd=7, rs1=5, imm=8))
+        assert state.read(7) == 0xCAFEBABE
+
+    def test_lb_sign_extension(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, DATA_BASE)
+        state.write(6, 0x80)
+        run_one(state, mem, Instruction("sb", rs2=6, rs1=5, imm=0))
+        run_one(state, mem, Instruction("lb", rd=7, rs1=5, imm=0))
+        assert state.read(7) == 0xFFFFFF80
+        run_one(state, mem, Instruction("lbu", rd=7, rs1=5, imm=0))
+        assert state.read(7) == 0x80
+
+    def test_lh_sign_extension(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, DATA_BASE)
+        state.write(6, 0x8001)
+        run_one(state, mem, Instruction("sh", rs2=6, rs1=5, imm=2))
+        run_one(state, mem, Instruction("lh", rd=7, rs1=5, imm=2))
+        assert state.read(7) == 0xFFFF8001
+        run_one(state, mem, Instruction("lhu", rd=7, rs1=5, imm=2))
+        assert state.read(7) == 0x8001
+
+
+class TestControl:
+    def test_branch_taken_and_not_taken(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, 3)
+        state.write(6, 3)
+        out = run_one(state, mem,
+                      Instruction("beq", rs1=5, rs2=6, imm=0x40), pc=0)
+        assert out.next_pc == 0x40 and out.branch_taken
+        out = run_one(state, mem,
+                      Instruction("bne", rs1=5, rs2=6, imm=0x40), pc=0)
+        assert out.next_pc is None and not out.branch_taken
+
+    def test_signed_vs_unsigned_branches(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, 0xFFFFFFFF)
+        state.write(6, 0)
+        assert run_one(state, mem,
+                       Instruction("blt", rs1=5, rs2=6, imm=8)).branch_taken
+        assert not run_one(state, mem,
+                           Instruction("bltu", rs1=5, rs2=6, imm=8)).branch_taken
+
+    def test_call_writes_ra(self, machine_bits):
+        state, mem = machine_bits
+        out = run_one(state, mem, Instruction("call", imm=0x100), pc=0x20)
+        assert out.next_pc == 0x100
+        assert state.read(1) == 0x24
+
+    def test_jalr_writes_link_then_jumps(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, 0x80)
+        out = run_one(state, mem,
+                      Instruction("jalr", rd=1, rs1=5), pc=0x10)
+        assert out.next_pc == 0x80 and state.read(1) == 0x14
+
+    def test_jalr_link_to_target_register(self, machine_bits):
+        # jalr rd == rs1: the jump target is read before the link write
+        state, mem = machine_bits
+        state.write(5, 0x80)
+        out = run_one(state, mem,
+                      Instruction("jalr", rd=5, rs1=5), pc=0x10)
+        assert out.next_pc == 0x80 and state.read(5) == 0x14
+
+    def test_halt(self, machine_bits):
+        state, mem = machine_bits
+        assert run_one(state, mem, Instruction("halt")).halted

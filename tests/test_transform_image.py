@@ -1,0 +1,155 @@
+"""SOFIA image container and serialization tests."""
+
+import pytest
+
+from repro.crypto import DeviceKeys
+from repro.errors import ImageError
+from repro.isa import parse
+from repro.sim import SofiaMachine
+from repro.transform import SofiaImage, transform
+
+KEYS = DeviceKeys.from_seed(4242)
+
+
+def small_image():
+    program = parse("main: li a0, 9\n halt\n")
+    return transform(program, KEYS, nonce=0x77)
+
+
+class TestImage:
+    def test_code_size_and_blocks(self):
+        image = small_image()
+        assert image.code_size_bytes == 4 * len(image.words)
+        assert image.num_blocks * image.block_words == len(image.words)
+
+    def test_word_at_bounds(self):
+        image = small_image()
+        assert image.word_at(image.code_base) == image.words[0]
+        with pytest.raises(ImageError):
+            image.word_at(image.code_base - 4)
+        with pytest.raises(ImageError):
+            image.word_at(image.code_base + 4 * len(image.words))
+
+    def test_block_base_of(self):
+        image = small_image()
+        assert image.block_base_of(image.code_base + 12) == image.code_base
+
+    def test_roundtrip_serialization(self):
+        image = small_image()
+        blob = image.to_bytes()
+        back = SofiaImage.from_bytes(blob)
+        assert back.words == image.words
+        assert back.nonce == image.nonce
+        assert back.entry == image.entry
+        assert back.data == image.data
+        assert back.block_words == image.block_words
+
+    def test_deserialized_image_runs(self):
+        image = small_image()
+        back = SofiaImage.from_bytes(image.to_bytes())
+        result = SofiaMachine(back, KEYS).run()
+        assert result.ok
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(small_image().to_bytes())
+        blob[0] = ord("X")
+        with pytest.raises(ImageError):
+            SofiaImage.from_bytes(bytes(blob))
+
+    def test_truncated_rejected(self):
+        blob = small_image().to_bytes()
+        with pytest.raises(ImageError):
+            SofiaImage.from_bytes(blob[:10])
+        with pytest.raises(ImageError):
+            SofiaImage.from_bytes(blob[:40])
+
+    def test_bad_version_rejected(self):
+        blob = bytearray(small_image().to_bytes())
+        blob[5] = 0xFF
+        with pytest.raises(ImageError):
+            SofiaImage.from_bytes(bytes(blob))
+
+
+class TestTransformerCanonicalization:
+    def test_multiple_returns_rewritten(self):
+        from repro.transform import canonicalize_returns
+        program = parse("""
+        main:
+            call f
+            halt
+        f:
+            beq a0, zero, early
+            ret
+        early:
+            ret
+        """)
+        canonical = canonicalize_returns(program)
+        rets = [i for i in canonical.instructions
+                if i.mnemonic == "jr"]
+        assert len(rets) == 1
+        jmps = [i for i in canonical.instructions
+                if i.mnemonic == "jmp" and i.symbol
+                and i.symbol.startswith("__ret_")]
+        assert len(jmps) == 1
+
+    def test_indirect_exclusive_target_enforced(self):
+        from repro.errors import TransformError
+        program = parse("""
+        main:
+            la t0, f
+            .targets f
+            jalr ra, t0
+            la t0, f
+            .targets f
+            jalr ra, t0
+            halt
+        f:
+            ret
+        """)
+        with pytest.raises(TransformError):
+            transform(program, KEYS, nonce=1)
+
+    def test_direct_plus_indirect_target_rejected(self):
+        from repro.errors import TransformError
+        program = parse("""
+        main:
+            call f
+            la t0, f
+            .targets f
+            jalr ra, t0
+            halt
+        f:
+            ret
+        """)
+        with pytest.raises(TransformError):
+            transform(program, KEYS, nonce=1)
+
+    def test_address_of_unannotated_code_label_rejected(self):
+        from repro.errors import TransformError
+        program = parse("""
+        main:
+            la t0, f
+            halt
+        f:
+            ret
+        """)
+        with pytest.raises(TransformError):
+            transform(program, KEYS, nonce=1)
+
+    def test_function_pointer_call_works_end_to_end(self):
+        program = parse("""
+        main:
+            la t0, f
+            .targets f
+            jalr ra, t0
+            li t1, 0xFFFF0004
+            sw a0, 0(t1)
+            halt
+        f:
+            li a0, 123
+            ret
+        """)
+        image = transform(program, KEYS, nonce=5)
+        result = SofiaMachine(image, KEYS).run()
+        assert result.ok, result.summary()
+        assert result.output_ints == [123]

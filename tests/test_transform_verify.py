@@ -1,0 +1,69 @@
+"""Offline image-verifier tests: sound images pass, corruptions are found."""
+
+import pytest
+
+from repro.crypto import DeviceKeys
+from repro.isa import parse
+from repro.transform import SofiaImage, transform, verify_image
+from repro.workloads import make_workload
+
+KEYS = DeviceKeys.from_seed(0x7E57)
+
+SOURCE = """
+main:
+    li a0, 1
+    beq a0, zero, join
+    jmp join
+join:
+    call f
+    sw a0, -4(sp)
+    halt
+f:
+    addi a0, a0, 2
+    ret
+"""
+
+
+@pytest.fixture()
+def image():
+    return transform(parse(SOURCE), KEYS, nonce=0xE)
+
+
+class TestCleanImages:
+    def test_simple_program_verifies(self, image):
+        assert verify_image(image, KEYS) == []
+
+    def test_workload_image_verifies(self):
+        program = make_workload("sort", "tiny").compile().program
+        image = transform(program, KEYS, nonce=0xE2)
+        assert verify_image(image, KEYS) == []
+
+    def test_wrong_keys_fail_everywhere(self, image):
+        wrong = DeviceKeys.from_seed(0xBAD)
+        findings = verify_image(image, wrong)
+        assert findings
+        assert all(f.kind in ("mac", "decode", "target", "store-slot",
+                              "cti-slot", "entry") for f in findings)
+
+
+class TestCorruptions:
+    def test_flipped_word_found(self, image):
+        image.words[5] ^= 0x10
+        findings = verify_image(image, KEYS)
+        assert any(f.kind == "mac" for f in findings)
+
+    def test_swapped_blocks_found(self, image):
+        bw = image.block_words
+        image.words[0:bw], image.words[bw:2 * bw] = (
+            image.words[bw:2 * bw], image.words[0:bw])
+        assert verify_image(image, KEYS)
+
+    def test_finding_renders(self, image):
+        image.words[3] ^= 1
+        findings = verify_image(image, KEYS)
+        assert findings and "block 0x" in str(findings[0])
+
+    def test_metadata_required(self, image):
+        stripped = SofiaImage.from_bytes(image.to_bytes())
+        with pytest.raises(ValueError):
+            verify_image(stripped, KEYS)
