@@ -54,3 +54,19 @@ def test_detection_latency(benchmark, keys):
     print(f"\nreset pulled after {result.cycles} cycles, "
           f"{result.instructions} instructions committed")
     assert result.instructions == 0
+
+
+def test_attack_matrix_parallel_equivalence(benchmark):
+    """``--jobs 4`` produces the identical E8 matrix, cell for cell."""
+    serial = run_campaign(seed=1337)
+
+    def parallel_campaign():
+        return run_campaign(seed=1337, parallel=True, jobs=4)
+
+    parallel = benchmark.pedantic(parallel_campaign,
+                                  iterations=1, rounds=1)
+    assert [(r.attack, r.target, r.outcome, r.status.value, r.detail)
+            for r in serial] == \
+           [(r.attack, r.target, r.outcome, r.status.value, r.detail)
+            for r in parallel]
+    assert format_matrix(serial) == format_matrix(parallel)

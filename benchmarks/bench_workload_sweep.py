@@ -1,4 +1,4 @@
-"""E10 (extension) — per-workload overhead table across all five workloads.
+"""E10 (extension) — per-workload overhead table across all workloads.
 
 Generalizes §IV-B beyond ADPCM: code-size, cycle and execution-time
 overheads for CRC-32, FIR, sorting and matrix multiply, under both the

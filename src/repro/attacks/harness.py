@@ -9,14 +9,25 @@ defender's goal is to prevent *any* effect of tampered code):
 ``HIJACKED``   the actuator received the unlock value
 ``CORRUPTED``  the program "completed" but produced wrong output
 ``NO_EFFECT``  output identical to the benign run
+
+The campaign is a task matrix (attack x target) dispatched through
+:mod:`repro.runner`: each cell applies one attack to a fresh machine, so
+cells are independent and ``run_campaign(parallel=True, jobs=N)`` fans
+them across worker processes.  Workers rebuild the four targets once per
+process from (seed, nonce) — the per-process build cache for this
+campaign — and results return in matrix order, making parallel outcomes
+identical to serial ones.
 """
 
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from ..runner import (campaign_record, resolve_jobs, run_tasks,
+                      write_campaign)
 from ..sim.result import Status
 from .actions import ATTACKS, Attack
 from .systems import Target, build_targets
@@ -88,14 +99,58 @@ def verify_benign(targets: List[Target]) -> None:
                 f"output={result.output_ints}")
 
 
-def run_campaign(seed: int = 1337) -> List[AttackResult]:
-    """The full matrix: every attack against every defense."""
+# per-process target table, keyed by campaign seed.  The parent installs
+# it after the benign check; fork-started workers inherit the built
+# targets copy-on-write and never rebuild, while spawn-started workers
+# rebuild once per process via the initializer.
+_WORKER_TARGETS: Optional[Tuple[int, Dict[str, Target]]] = None
+
+
+def _init_attack_worker(seed: int) -> None:
+    global _WORKER_TARGETS
+    if _WORKER_TARGETS is None or _WORKER_TARGETS[0] != seed:
+        targets = build_targets(victim_program(), seed=seed)
+        _WORKER_TARGETS = (seed, {t.name: t for t in targets})
+
+
+def _attack_task(task: Tuple[int, str]) -> AttackResult:
+    attack_index, target_name = task
+    return run_attack(ATTACKS[attack_index],
+                      _WORKER_TARGETS[1][target_name])
+
+
+def run_campaign(seed: int = 1337, parallel: bool = False,
+                 jobs: Optional[int] = None,
+                 export_path=None) -> List[AttackResult]:
+    """The full matrix: every attack against every defense.
+
+    Each (attack, target) cell starts from a fresh machine, so the matrix
+    parallelizes cell-by-cell; ``parallel=True`` dispatches it across
+    ``jobs`` worker processes with results in matrix order (identical to
+    the serial traversal).  ``export_path`` writes the campaign as JSON.
+    """
+    global _WORKER_TARGETS
+    started = time.perf_counter()
     targets = build_targets(victim_program(), seed=seed)
     verify_benign(targets)
-    results = []
-    for attack in ATTACKS:
-        for target in targets:
-            results.append(run_attack(attack, target))
+    _WORKER_TARGETS = (seed, {t.name: t for t in targets})
+    tasks = [(attack_index, target.name)
+             for attack_index in range(len(ATTACKS))
+             for target in targets]
+    try:
+        results = run_tasks(_attack_task, tasks, jobs=jobs,
+                            parallel=parallel,
+                            initializer=_init_attack_worker,
+                            initargs=(seed,))
+    finally:
+        _WORKER_TARGETS = None  # release the builds pinned for the pool
+    if export_path is not None:
+        write_campaign(export_path, campaign_record(
+            "attack-matrix",
+            {"seed": seed, "attacks": [a.name for a in ATTACKS],
+             "targets": [t.name for t in targets]},
+            results, jobs=resolve_jobs(jobs) if parallel else 1,
+            elapsed_seconds=time.perf_counter() - started))
     return results
 
 

@@ -11,11 +11,15 @@ The toolchain workflow as a developer would drive it:
 ``trace``           per-instruction execution trace (vanilla core)
 ``attack``          run the attack campaign, print the E8 matrix
 ``experiments``     regenerate paper tables/figures (E1, E2, ...)
+``report``          write the full E1–E11 evaluation report
 ==================  ====================================================
 
 Keys are derived from ``--seed`` (a stand-in for device provisioning);
-images embed their nonce.  Exit status: 0 on success, 1 on a program
-error (assembly/compile/transform failure), 2 on bad usage.
+images embed their nonce.  The ``attack`` and ``experiments`` commands
+accept ``--jobs N`` to fan their campaigns across N worker processes via
+:mod:`repro.runner` (``--jobs 0`` means one per CPU; the default of 1
+runs the bit-identical serial path).  Exit status: 0 on success, 1 on a
+program error (assembly/compile/transform failure), 2 on bad usage.
 """
 
 from __future__ import annotations
@@ -124,22 +128,49 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _jobs_arg(value: str) -> int:
+    """argparse type for ``--jobs``: a non-negative worker count."""
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 0 (0 = one per CPU), got {jobs}")
+    return jobs
+
+
+def _parse_jobs(jobs: int) -> "tuple[bool, Optional[int]]":
+    """CLI ``--jobs`` value -> (parallel, jobs) runner arguments.
+
+    ``1`` (the default) selects the serial path, ``0`` means one worker
+    per CPU, any other N means N workers.
+    """
+    if jobs == 1:
+        return False, 1
+    return True, (None if jobs == 0 else jobs)
+
+
 def cmd_attack(args) -> int:
-    results = run_campaign(seed=args.seed)
+    parallel, jobs = _parse_jobs(args.jobs)
+    results = run_campaign(seed=args.seed, parallel=parallel, jobs=jobs,
+                           export_path=args.export)
     print(format_matrix(results))
+    if args.export:
+        print(f"# wrote {args.export}", file=sys.stderr)
     return 0
 
 
 _EXPERIMENTS = {
-    "table1": lambda: experiment_table1().render(),
-    "adpcm": lambda: experiment_adpcm("small").render(),
-    "security": lambda: experiment_security(100).render(),
-    "blocksize": lambda: render_blocksize(
-        experiment_blocksize("tiny", (6, 8))),
-    "muxtree": lambda: render_muxtree(experiment_muxtree((1, 2, 4, 8))),
-    "unroll": lambda: render_unroll(experiment_unroll()),
-    "workloads": lambda: format_overhead_rows(
-        experiment_workloads("tiny")),
+    "table1": lambda parallel, jobs: experiment_table1().render(),
+    "adpcm": lambda parallel, jobs: experiment_adpcm("small").render(),
+    "security": lambda parallel, jobs: experiment_security(
+        100, parallel=parallel, jobs=jobs).render(),
+    "blocksize": lambda parallel, jobs: render_blocksize(
+        experiment_blocksize("tiny", (6, 8), parallel=parallel,
+                             jobs=jobs)),
+    "muxtree": lambda parallel, jobs: render_muxtree(
+        experiment_muxtree((1, 2, 4, 8))),
+    "unroll": lambda parallel, jobs: render_unroll(experiment_unroll()),
+    "workloads": lambda parallel, jobs: format_overhead_rows(
+        experiment_workloads("tiny", parallel=parallel, jobs=jobs)),
 }
 
 
@@ -152,6 +183,7 @@ def cmd_report(args) -> int:
 
 
 def cmd_experiments(args) -> int:
+    parallel, jobs = _parse_jobs(args.jobs)
     names = args.names or sorted(_EXPERIMENTS)
     for name in names:
         runner = _EXPERIMENTS.get(name)
@@ -160,7 +192,7 @@ def cmd_experiments(args) -> int:
                   f"known: {sorted(_EXPERIMENTS)}", file=sys.stderr)
             return 2
         print(f"==== {name} ====")
-        print(runner())
+        print(runner(parallel, jobs))
         print()
     return 0
 
@@ -215,11 +247,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("attack", help="run the attack campaign (E8)")
     p.add_argument("--seed", type=int, default=1337)
+    p.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
+                   help="worker processes (0 = one per CPU, 1 = serial)")
+    p.add_argument("--export", metavar="FILE",
+                   help="write the campaign results as JSON")
     p.set_defaults(func=cmd_attack)
 
     p = sub.add_parser("experiments", help="regenerate paper artifacts")
     p.add_argument("names", nargs="*",
                    help=f"subset of {sorted(_EXPERIMENTS)}")
+    p.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
+                   help="worker processes (0 = one per CPU, 1 = serial)")
     p.set_defaults(func=cmd_experiments)
 
     p = sub.add_parser("report", help="write the full evaluation report")

@@ -10,11 +10,13 @@ from .experiments import (AdpcmComparison, BlockSizePoint, CachePoint,
                           render_cache, render_muxtree, render_unroll,
                           render_workloads)
 from .export import blocksize_csv, cache_csv, muxtree_csv, overhead_csv
-from .overhead import OverheadRow, format_overhead_rows, measure_overhead
+from .overhead import (OverheadPoint, OverheadRow, format_overhead_rows,
+                       measure_many, measure_overhead, measure_point)
 from .report import full_report, write_report
 
 __all__ = [
     "OverheadRow", "measure_overhead", "format_overhead_rows",
+    "OverheadPoint", "measure_point", "measure_many",
     "experiment_table1", "experiment_adpcm", "experiment_security",
     "experiment_blocksize", "experiment_muxtree", "experiment_attacks",
     "experiment_workloads", "experiment_unroll",

@@ -3,6 +3,12 @@
 Each function regenerates the rows of its experiment and returns structured
 data; ``render_*`` helpers print the same rows the paper reports, side by
 side with the published values where applicable.
+
+Experiments that iterate over independent cells (workloads, block sizes,
+cache sizes, attack/target pairs, Monte-Carlo batches) express the loop
+as a task list for :mod:`repro.runner` and accept ``parallel``/``jobs``;
+the default ``parallel=False`` runs the historical serial loop with
+identical results (the CLI's ``--jobs N`` flips these on).
 """
 
 from __future__ import annotations
@@ -23,8 +29,9 @@ from ..sim.timing import DEFAULT_TIMING, LEON3_MINIMAL_TIMING, TimingParams
 from ..sim.vanilla import VanillaMachine
 from ..transform.config import TransformConfig
 from ..transform.transformer import transform
-from ..workloads.base import all_workloads, make_workload
-from .overhead import OverheadRow, format_overhead_rows, measure_overhead
+from ..workloads.base import make_workload, workload_names
+from .overhead import (OverheadPoint, OverheadRow, format_overhead_rows,
+                       measure_many, measure_overhead)
 
 #: published §IV-B numbers for the ADPCM benchmark
 PAPER_ADPCM = {
@@ -102,11 +109,14 @@ class SecurityExperiment:
         return "\n".join(lines)
 
 
-def experiment_security(experiments: int = 200) -> SecurityExperiment:
-    escape = tamper_detection(bits=8)
+def experiment_security(experiments: int = 200,
+                        parallel: bool = False,
+                        jobs: Optional[int] = None) -> SecurityExperiment:
+    escape = tamper_detection(bits=8, parallel=parallel, jobs=jobs)
     return SecurityExperiment(
         bounds=security_report(),
-        scaling=forgery_scaling(experiments=experiments),
+        scaling=forgery_scaling(experiments=experiments,
+                                parallel=parallel, jobs=jobs),
         escape_rate=escape.escape_rate,
         escape_expected=escape.expected_rate)
 
@@ -123,21 +133,24 @@ class BlockSizePoint:
 
 def experiment_blocksize(scale: str = "small",
                          block_words: Sequence[int] = (6, 8),
-                         workload: str = "adpcm") -> List[BlockSizePoint]:
+                         workload: str = "adpcm",
+                         parallel: bool = False,
+                         jobs: Optional[int] = None) -> List[BlockSizePoint]:
     """Rebuild the binary at several block sizes (Fig. 5 vs Fig. 6).
 
     6-word blocks (4 instructions) fit entirely before the MA stage — no
     store restriction; 8-word blocks (6 instructions) forbid stores in the
     first two slots but amortize the MAC words over more instructions.
     """
-    points = []
-    for bw in block_words:
-        config = TransformConfig(block_words=bw)
-        row = measure_overhead(make_workload(workload, scale), config=config)
-        points.append(BlockSizePoint(
-            block_words=bw, exec_capacity=config.exec_capacity,
-            store_forbidden=config.exec_store_forbidden, row=row))
-    return points
+    configs = [TransformConfig(block_words=bw) for bw in block_words]
+    rows = measure_many(
+        [OverheadPoint(workload=workload, scale=scale, config=config)
+         for config in configs],
+        parallel=parallel, jobs=jobs)
+    return [BlockSizePoint(
+        block_words=config.block_words, exec_capacity=config.exec_capacity,
+        store_forbidden=config.exec_store_forbidden, row=row)
+        for config, row in zip(configs, rows)]
 
 
 def render_blocksize(points: List[BlockSizePoint]) -> str:
@@ -206,17 +219,21 @@ def render_muxtree(points: List[FanInPoint]) -> str:
 
 # -- E8: attack matrix ------------------------------------------------------------
 
-def experiment_attacks(seed: int = 1337) -> List[AttackResult]:
-    return run_campaign(seed=seed)
+def experiment_attacks(seed: int = 1337, parallel: bool = False,
+                       jobs: Optional[int] = None) -> List[AttackResult]:
+    return run_campaign(seed=seed, parallel=parallel, jobs=jobs)
 
 
 # -- E10: workload sweep -----------------------------------------------------------
 
 def experiment_workloads(scale: str = "small",
-                         timing: TimingParams = DEFAULT_TIMING
-                         ) -> List[OverheadRow]:
-    return [measure_overhead(w, timing=timing)
-            for w in all_workloads(scale)]
+                         timing: TimingParams = DEFAULT_TIMING,
+                         parallel: bool = False,
+                         jobs: Optional[int] = None) -> List[OverheadRow]:
+    return measure_many(
+        [OverheadPoint(workload=name, scale=scale, timing=timing)
+         for name in workload_names()],
+        parallel=parallel, jobs=jobs)
 
 
 def render_workloads(rows: List[OverheadRow]) -> str:
@@ -234,21 +251,24 @@ class CachePoint:
 
 def experiment_cache(scale: str = "tiny",
                      line_counts: Sequence[int] = (8, 32, 128, 512),
-                     workload: str = "adpcm") -> List[CachePoint]:
+                     workload: str = "adpcm",
+                     parallel: bool = False,
+                     jobs: Optional[int] = None) -> List[CachePoint]:
     """Cycle overhead vs I-cache size.
 
     SOFIA's ~2x code footprint stresses the I-cache harder than the
     vanilla binary, so small caches amplify the overhead — a deployment
     consideration the paper's single minimal configuration doesn't show.
+    All points share one protected build, so the sweep hits the runner's
+    image cache after the first point.
     """
-    points = []
-    for lines in line_counts:
-        timing = TimingParams(icache_lines=lines)
-        row = measure_overhead(make_workload(workload, scale),
-                               timing=timing)
-        points.append(CachePoint(lines=lines,
-                                 cache_bytes=lines * 32, row=row))
-    return points
+    rows = measure_many(
+        [OverheadPoint(workload=workload, scale=scale,
+                       timing=TimingParams(icache_lines=lines))
+         for lines in line_counts],
+        parallel=parallel, jobs=jobs)
+    return [CachePoint(lines=lines, cache_bytes=lines * 32, row=row)
+            for lines, row in zip(line_counts, rows)]
 
 
 def render_cache(points: List[CachePoint]) -> str:

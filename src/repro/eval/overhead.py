@@ -9,6 +9,13 @@ workload:
   clock-frequency ratio from the hardware model (Table I):
   ``(1 + cycle_ovh) * (f_vanilla / f_sofia) - 1``.  With the paper's
   numbers this is exactly 1.137 * (92.3/50.1) - 1 = 1.095 ≈ 110 %.
+
+Sweeps over many (workload, config, timing) points are expressed as
+:class:`OverheadPoint` task lists and dispatched via
+:func:`measure_many` through :mod:`repro.runner`; the per-process build
+cache ensures each protected image is compiled/transformed/encrypted
+once per distinct (workload, config, nonce) — points that only vary
+timing parameters (e.g. the I-cache sweep) reuse the cached image.
 """
 
 from __future__ import annotations
@@ -20,14 +27,17 @@ from ..crypto.keys import DeviceKeys
 from ..errors import SimulationError
 from ..hwmodel.design import table1
 from ..isa.assembler import assemble
+from ..isa.program import Executable
+from ..runner import DEFAULT_KEY_SEED, BuildSpec, build_cache, run_tasks
 from ..sim.sofia import SofiaMachine
 from ..sim.timing import DEFAULT_TIMING, TimingParams
 from ..sim.vanilla import VanillaMachine
 from ..transform.config import DEFAULT_CONFIG, TransformConfig
+from ..transform.image import SofiaImage
 from ..transform.transformer import transform
 from ..workloads.base import Workload
 
-_DEFAULT_KEYS = DeviceKeys.from_seed(0x50F1A)
+_DEFAULT_KEYS = DeviceKeys.from_seed(DEFAULT_KEY_SEED)
 
 
 @dataclass(frozen=True)
@@ -60,22 +70,15 @@ class OverheadRow:
         return (1.0 + self.cycle_overhead) * self.clock_ratio - 1.0
 
 
-def measure_overhead(workload: Workload,
-                     keys: Optional[DeviceKeys] = None,
-                     timing: TimingParams = DEFAULT_TIMING,
-                     config: TransformConfig = DEFAULT_CONFIG,
-                     nonce: int = 0x2016,
-                     max_instructions: int = 50_000_000) -> OverheadRow:
-    """Compile, run on both cores, verify outputs, return the metrics."""
-    keys = keys or _DEFAULT_KEYS
-    compiled = workload.compile()
-    exe = assemble(compiled.program)
+def _run_both(workload: Workload, exe: Executable, image: SofiaImage,
+              keys: DeviceKeys, timing: TimingParams,
+              max_instructions: int) -> OverheadRow:
+    """Run both cores against a prepared build and assemble the row."""
     vanilla = VanillaMachine(exe, timing).run(max_instructions)
     if vanilla.output_ints != workload.expected_output:
         raise SimulationError(
             f"{workload.name}: vanilla output {vanilla.output_ints} != "
             f"golden {workload.expected_output}")
-    image = transform(compiled.program, keys, nonce=nonce, config=config)
     sofia = SofiaMachine(image, keys, timing).run(max_instructions)
     if sofia.output_ints != workload.expected_output:
         raise SimulationError(
@@ -96,6 +99,68 @@ def measure_overhead(workload: Workload,
         mux_blocks=stats.mux_blocks,
         tree_nodes=stats.tree_nodes,
         padding_nops=stats.padding_nops)
+
+
+def measure_overhead(workload: Workload,
+                     keys: Optional[DeviceKeys] = None,
+                     timing: TimingParams = DEFAULT_TIMING,
+                     config: TransformConfig = DEFAULT_CONFIG,
+                     nonce: int = 0x2016,
+                     max_instructions: int = 50_000_000) -> OverheadRow:
+    """Compile, run on both cores, verify outputs, return the metrics."""
+    keys = keys or _DEFAULT_KEYS
+    compiled = workload.compile()
+    exe = assemble(compiled.program)
+    image = transform(compiled.program, keys, nonce=nonce, config=config)
+    return _run_both(workload, exe, image, keys, timing, max_instructions)
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    """One (workload, build, timing) cell of an overhead sweep.
+
+    Points are plain picklable values, so a sweep is a task list for
+    :func:`repro.runner.run_tasks`; the build stages are memoized by the
+    per-process cache keyed on the point's :class:`BuildSpec` fields.
+    """
+
+    workload: str
+    scale: str = "small"
+    key_seed: int = DEFAULT_KEY_SEED
+    nonce: int = 0x2016
+    timing: TimingParams = DEFAULT_TIMING
+    config: TransformConfig = DEFAULT_CONFIG
+    max_instructions: int = 50_000_000
+
+    @property
+    def build_spec(self) -> BuildSpec:
+        return BuildSpec(workload=self.workload, scale=self.scale,
+                         key_seed=self.key_seed, nonce=self.nonce,
+                         config=self.config)
+
+
+def measure_point(point: OverheadPoint) -> OverheadRow:
+    """Measure one sweep point through the per-process build cache.
+
+    Identical to :func:`measure_overhead` on the equivalent arguments —
+    the cached build pipeline is deterministic — but repeated points that
+    share a build (e.g. a timing sweep) only transform/encrypt once.
+    """
+    workload, exe, image, keys = build_cache().protected(point.build_spec)
+    return _run_both(workload, exe, image, keys, point.timing,
+                     point.max_instructions)
+
+
+def measure_many(points: List[OverheadPoint], *,
+                 parallel: bool = False,
+                 jobs: Optional[int] = None) -> List[OverheadRow]:
+    """Measure a sweep, one row per point, in point order.
+
+    Serial execution measures points in order through the shared cache;
+    ``parallel=True`` fans points across worker processes (each worker
+    caches its own builds).  Rows are deterministic either way.
+    """
+    return run_tasks(measure_point, points, jobs=jobs, parallel=parallel)
 
 
 def format_overhead_rows(rows: List[OverheadRow]) -> str:

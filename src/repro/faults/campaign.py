@@ -14,17 +14,28 @@ The headline claim under test: for faults on the *protected surface*
 silent corruption and hijacks into detection; faults on the unprotected
 surface (register file, a glitched MAC comparator) can still cause SDC —
 quantifying exactly where the paper's guarantee ends.
+
+Campaigns are embarrassingly parallel: every specimen runs a fresh
+machine against the same shared image.  ``run_campaign(parallel=True,
+jobs=N)`` fans the specimen list across a process pool via
+:mod:`repro.runner`; the image is built once in the parent and shipped
+to each worker through the pool initializer, and results come back in
+specimen order, so parallel classification counts are byte-identical to
+the serial ones.
 """
 
 from __future__ import annotations
 
 import enum
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..crypto.keys import DeviceKeys
 from ..isa.program import AsmProgram
+from ..runner import (campaign_record, resolve_jobs, run_tasks,
+                      write_campaign)
 from ..sim.result import Status
 from ..sim.sofia import SofiaMachine
 from ..transform.image import SofiaImage
@@ -109,9 +120,16 @@ def run_fault(image: SofiaImage, keys: DeviceKeys, fault: FaultSpec,
 
 def sample_faults(image: SofiaImage, total_instructions: int,
                   per_model: int = 25, seed: int = 2016,
-                  models: Optional[Sequence[str]] = None) -> List[FaultSpec]:
-    """Draw a randomized fault population over the run's dynamic window."""
-    rng = random.Random(seed)
+                  models: Optional[Sequence[str]] = None,
+                  rng: Optional[random.Random] = None) -> List[FaultSpec]:
+    """Draw a randomized fault population over the run's dynamic window.
+
+    Randomness is fully injectable: pass either ``seed`` (a private
+    ``random.Random`` is created) or an explicit ``rng`` — never a shared
+    global stream — so concurrent campaigns draw reproducible, mutually
+    independent populations.
+    """
+    rng = rng if rng is not None else random.Random(seed)
     wanted = set(models or ("CodeBitFlip", "FetchGlitch", "PCGlitch",
                             "RegisterFault", "VerifySkip", "CombinedFault"))
     code_limit = image.code_base + 4 * len(image.words)
@@ -149,12 +167,41 @@ def sample_faults(image: SofiaImage, total_instructions: int,
     return faults
 
 
+# per-process context installed by the pool initializer: the protected
+# image and run parameters shared by every specimen in the campaign
+_WORKER_CTX: Optional[tuple] = None
+
+
+def _init_fault_worker(image: SofiaImage, keys: DeviceKeys,
+                       golden_output: List[int],
+                       max_instructions: int) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = (image, keys, golden_output, max_instructions)
+
+
+def _fault_task(fault: FaultSpec) -> FaultResult:
+    image, keys, golden_output, max_instructions = _WORKER_CTX
+    return run_fault(image, keys, fault, golden_output, max_instructions)
+
+
 def run_campaign(program: AsmProgram, keys: DeviceKeys,
                  golden_output: Sequence[int], nonce: int = 0xFA17,
                  per_model: int = 25, seed: int = 2016,
-                 max_instructions: int = 2_000_000
+                 max_instructions: int = 2_000_000,
+                 rng: Optional[random.Random] = None,
+                 parallel: bool = False, jobs: Optional[int] = None,
+                 export_path=None
                  ) -> "tuple[List[FaultResult], CampaignSummary]":
-    """Full campaign on one program; returns per-fault results + summary."""
+    """Full campaign on one program; returns per-fault results + summary.
+
+    The protected image is built and golden-checked exactly once; every
+    specimen then runs against it.  With ``parallel=True`` the specimen
+    list is dispatched across ``jobs`` worker processes (default: one per
+    CPU); serial and parallel runs classify identically because each
+    ``run_fault`` is a pure function of (image, fault).  ``export_path``
+    writes the campaign's parameters and per-specimen results as JSON.
+    """
+    started = time.perf_counter()
     image = transform(program, keys, nonce=nonce)
     baseline = SofiaMachine(image, keys).run(max_instructions)
     if list(baseline.output_ints) != list(golden_output) or not baseline.ok:
@@ -162,12 +209,24 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
             f"golden run broken: {baseline.summary()} "
             f"{baseline.output_ints}")
     faults = sample_faults(image, baseline.instructions,
-                           per_model=per_model, seed=seed)
-    results = []
+                           per_model=per_model, seed=seed, rng=rng)
+    global _WORKER_CTX
+    try:
+        results = run_tasks(
+            _fault_task, faults, jobs=jobs, parallel=parallel,
+            initializer=_init_fault_worker,
+            initargs=(image, keys, list(golden_output), max_instructions))
+    finally:
+        _WORKER_CTX = None  # release the image pinned by the serial path
     summary = CampaignSummary()
-    for fault in faults:
-        result = run_fault(image, keys, fault, golden_output,
-                           max_instructions)
-        results.append(result)
+    for result in results:
         summary.add(result)
+    if export_path is not None:
+        write_campaign(export_path, campaign_record(
+            "fault-injection",
+            {"nonce": nonce, "per_model": per_model, "seed": seed,
+             "max_instructions": max_instructions,
+             "baseline_instructions": baseline.instructions},
+            results, jobs=resolve_jobs(jobs) if parallel else 1,
+            elapsed_seconds=time.perf_counter() - started))
     return results, summary

@@ -1,0 +1,57 @@
+"""Parallel campaign orchestration (see DESIGN.md, "Campaign runner").
+
+Every evaluation surface of the reproduction — fault-injection campaigns
+(E11), the attack matrix (E8), Monte-Carlo security experiments (E9), and
+workload x config overhead sweeps (E2/E6/E10/E14) — is embarrassingly
+parallel: a campaign is an ordered list of independent, deterministic
+tasks.  This package is the one seam through which all of them fan out
+across CPU cores:
+
+:mod:`repro.runner.pool`
+    ``run_tasks`` — submit an ordered task list to a process pool (or run
+    it serially, bit-identically, with ``parallel=False``), with chunked
+    dispatch and ordered result aggregation.
+
+:mod:`repro.runner.seeding`
+    ``task_seed`` / ``task_rng`` — deterministic per-task seed derivation
+    so randomized campaigns are reproducible independent of worker count
+    and scheduling order.
+
+:mod:`repro.runner.cache`
+    ``build_cache`` — a per-process memo of compiled workloads and
+    protected :class:`~repro.transform.image.SofiaImage` builds, so each
+    image is compiled/transformed/encrypted once per (workload, config,
+    nonce) per process instead of once per specimen.
+
+:mod:`repro.runner.export`
+    ``campaign_record`` / ``write_campaign`` — structured JSON export of
+    any campaign's parameters and per-task results.
+
+Design contract (every caller relies on these):
+
+* **Determinism** — tasks must be pure functions of their payload plus
+  per-process context installed by an initializer; given the same task
+  list, serial and parallel execution return identical result lists.
+* **Ordering** — results are returned in task-submission order, never in
+  completion order.
+* **Graceful degradation** — on a single-core host (or ``jobs=1``) the
+  runner degrades to the serial path with zero multiprocessing overhead.
+
+Future scaling PRs (sharding, distributed backends, result streaming)
+plug in behind :func:`~repro.runner.pool.run_tasks` without touching the
+campaign call sites.
+"""
+
+from .cache import (DEFAULT_KEY_SEED, BuildCache, BuildSpec, CacheStats,
+                    build_cache, clear_build_cache)
+from .export import campaign_record, to_jsonable, write_campaign
+from .pool import default_chunksize, resolve_jobs, run_tasks
+from .seeding import task_rng, task_seed
+
+__all__ = [
+    "run_tasks", "resolve_jobs", "default_chunksize",
+    "task_seed", "task_rng",
+    "BuildCache", "BuildSpec", "CacheStats", "build_cache",
+    "clear_build_cache", "DEFAULT_KEY_SEED",
+    "campaign_record", "write_campaign", "to_jsonable",
+]

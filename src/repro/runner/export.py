@@ -1,0 +1,70 @@
+"""Structured JSON export of campaign runs.
+
+Every campaign — fault injection, attack matrix, Monte-Carlo security,
+overhead sweep — can serialize its parameters and per-task results to
+one self-describing JSON document, so downstream tooling (plotting,
+regression tracking, distributed aggregation) consumes campaigns without
+parsing the human-readable tables.
+
+``to_jsonable`` converts the repo's result types generically: dataclasses
+become objects, enums become their values, tuples become arrays.  A
+campaign record looks like::
+
+    {
+      "campaign": "fault-injection",
+      "parameters": {"workload": "crc32", "seed": 2016, ...},
+      "jobs": 4,
+      "elapsed_seconds": 1.93,
+      "num_results": 90,
+      "results": [{"model": "CodeBitFlip", "outcome": "detected", ...}]
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert campaign data into JSON-serializable types."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: to_jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def campaign_record(name: str, parameters: Dict[str, Any],
+                    results: Sequence[Any], *,
+                    jobs: Optional[int] = None,
+                    elapsed_seconds: Optional[float] = None
+                    ) -> Dict[str, Any]:
+    """The canonical JSON document for one campaign run."""
+    record: Dict[str, Any] = {
+        "campaign": name,
+        "parameters": to_jsonable(parameters),
+        "jobs": jobs,
+        "num_results": len(results),
+        "results": [to_jsonable(r) for r in results],
+    }
+    if elapsed_seconds is not None:
+        record["elapsed_seconds"] = round(elapsed_seconds, 6)
+    return record
+
+
+def write_campaign(path, record: Dict[str, Any]) -> Path:
+    """Write a campaign record as pretty-printed JSON; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
+    return target

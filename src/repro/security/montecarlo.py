@@ -5,16 +5,25 @@ who enumerates candidate MAC values for a tampered block needs on average
 ``2^(n-1)`` trials.  These experiments validate that assumption at widths
 small enough to brute-force (4..16 bits), and measure the probability that
 a random tamper slips past an n-bit verification (expected ``2^-n``).
+
+Both experiments accept ``parallel=True``: batches are dispatched through
+:mod:`repro.runner` with per-task seeds derived by
+:func:`repro.runner.task_seed`, so parallel results are deterministic and
+independent of the worker count.  The ``parallel=False`` default keeps
+the original single-stream sampling, bit-identical to the historical
+serial results (the two modes draw different — statistically equivalent —
+random populations).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..crypto.cbcmac import cbc_mac
 from ..crypto.rectangle import Rectangle80
+from ..runner import run_tasks, task_rng
 
 
 def truncated_mac(cipher: Rectangle80, words: Sequence[int],
@@ -49,10 +58,48 @@ class ForgeryScaling:
         return self.mean_trials / self.expected_trials
 
 
+def _forgery_batch(task: Tuple[int, int, int, int]) -> int:
+    """Total trials for one (bits, experiments) batch with a derived seed."""
+    seed, bits, batch, experiments = task
+    rng = task_rng(seed, "forgery", bits, batch)
+    total = 0
+    for _ in range(experiments):
+        cipher = Rectangle80(rng.getrandbits(80))
+        words = [rng.getrandbits(32) for _ in range(6)]
+        total += forgery_trials(cipher, words, bits)
+    return total
+
+
+#: experiments per parallel Monte-Carlo batch (fixed so the task
+#: decomposition — and therefore the drawn population — is independent of
+#: the worker count)
+_BATCH = 50
+
+
 def forgery_scaling(bits_list: Sequence[int] = (4, 6, 8, 10, 12),
                     experiments: int = 200,
-                    seed: int = 2016) -> List[ForgeryScaling]:
+                    seed: int = 2016,
+                    parallel: bool = False,
+                    jobs: Optional[int] = None) -> List[ForgeryScaling]:
     """Mean trials-to-forge vs MAC width — should track 2^(n-1)."""
+    if parallel:
+        tasks = []
+        for bits in bits_list:
+            remaining = experiments
+            batch = 0
+            while remaining > 0:
+                tasks.append((seed, bits, batch, min(_BATCH, remaining)))
+                remaining -= _BATCH
+                batch += 1
+        totals = run_tasks(_forgery_batch, tasks, jobs=jobs)
+        by_bits = {bits: 0 for bits in bits_list}
+        for task, total in zip(tasks, totals):
+            by_bits[task[1]] += total
+        return [ForgeryScaling(
+            bits=bits, experiments=experiments,
+            mean_trials=by_bits[bits] / experiments,
+            expected_trials=float(1 << (bits - 1)))
+            for bits in bits_list]
     rng = random.Random(seed)
     results = []
     for bits in bits_list:
@@ -83,13 +130,41 @@ class TamperEscape:
         return 2.0 ** -self.bits
 
 
+def _tamper_batch(task: Tuple[int, int, int, int]) -> int:
+    """Undetected count for one batch of tampers with a derived seed."""
+    seed, bits, batch, tampers = task
+    cipher = Rectangle80(task_rng(seed, "tamper-key").getrandbits(80))
+    rng = task_rng(seed, "tamper", bits, batch)
+    undetected = 0
+    for _ in range(tampers):
+        words = [rng.getrandbits(32) for _ in range(6)]
+        mac = truncated_mac(cipher, words, bits)
+        tampered = list(words)
+        tampered[rng.randrange(6)] ^= 1 << rng.randrange(32)
+        if truncated_mac(cipher, tampered, bits) == mac:
+            undetected += 1
+    return undetected
+
+
 def tamper_detection(bits: int = 8, tampers: int = 4000,
-                     seed: int = 99) -> TamperEscape:
+                     seed: int = 99, parallel: bool = False,
+                     jobs: Optional[int] = None) -> TamperEscape:
     """Fraction of random single-word tampers that pass n-bit verification.
 
     With an n-bit MAC an undetected tamper needs the tampered message to
     collide on the truncated MAC: probability 2^-n per attempt.
     """
+    if parallel:
+        batch_size = _BATCH * 10
+        tasks = []
+        remaining, batch = tampers, 0
+        while remaining > 0:
+            tasks.append((seed, bits, batch, min(batch_size, remaining)))
+            remaining -= batch_size
+            batch += 1
+        undetected = sum(run_tasks(_tamper_batch, tasks, jobs=jobs))
+        return TamperEscape(bits=bits, tampers=tampers,
+                            undetected=undetected)
     rng = random.Random(seed)
     cipher = Rectangle80(rng.getrandbits(80))
     undetected = 0

@@ -26,4 +26,5 @@ def test_example_runs(script, tmp_path, monkeypatch, capsys):
 def test_examples_exist():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "adpcm_protection", "attack_detection",
-            "design_space", "fault_injection"} <= names
+            "design_space", "fault_injection",
+            "parallel_campaign"} <= names

@@ -1,0 +1,244 @@
+"""Tests for the parallel campaign orchestrator (``repro.runner``).
+
+The runner's contract: ordered results, a bit-identical serial fallback,
+deterministic per-task seeding independent of worker count, and a
+per-process build cache that protects each image once per spec.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.attacks import run_campaign as attack_campaign
+from repro.crypto import DeviceKeys
+from repro.eval.overhead import (OverheadPoint, measure_many,
+                                 measure_overhead, measure_point)
+from repro.faults import run_campaign as fault_campaign
+from repro.faults import sample_faults
+from repro.isa import parse
+from repro.runner import (build_cache, campaign_record, clear_build_cache,
+                          default_chunksize, resolve_jobs, run_tasks,
+                          task_rng, task_seed, to_jsonable, write_campaign)
+from repro.security.montecarlo import forgery_scaling, tamper_detection
+from repro.transform import transform
+from repro.workloads import make_workload
+
+KEYS = DeviceKeys.from_seed(0xFA)
+
+
+def _square(x):
+    return x * x
+
+
+_INIT_VALUE = None
+
+
+def _install(value):
+    global _INIT_VALUE
+    _INIT_VALUE = value
+
+
+def _add_context(x):
+    return x + _INIT_VALUE
+
+
+class TestPool:
+    def test_serial_matches_plain_loop(self):
+        tasks = list(range(10))
+        assert run_tasks(_square, tasks, parallel=False) == \
+            [_square(t) for t in tasks]
+
+    def test_parallel_results_are_ordered(self):
+        tasks = list(range(23))
+        assert run_tasks(_square, tasks, parallel=True, jobs=3) == \
+            [_square(t) for t in tasks]
+
+    def test_initializer_installs_worker_context(self):
+        results = run_tasks(_add_context, [1, 2, 3], parallel=True,
+                            jobs=2, initializer=_install, initargs=(100,))
+        assert results == [101, 102, 103]
+
+    def test_serial_path_also_runs_initializer(self):
+        results = run_tasks(_add_context, [5, 6], parallel=False,
+                            initializer=_install, initargs=(1000,))
+        assert results == [1005, 1006]
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(None) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+    def test_default_chunksize(self):
+        assert default_chunksize(0, 4) == 1
+        assert default_chunksize(3, 4) == 1
+        assert default_chunksize(160, 4) == 10
+
+    def test_single_task_stays_in_process(self):
+        # one task never pays pool startup; context installed in-process
+        assert run_tasks(_add_context, [7], parallel=True, jobs=8,
+                         initializer=_install, initargs=(0,)) == [7]
+
+
+class TestSeeding:
+    def test_task_seed_is_deterministic(self):
+        assert task_seed(2016, "forgery", 8, 0) == \
+            task_seed(2016, "forgery", 8, 0)
+
+    def test_task_seed_distinguishes_components(self):
+        seeds = {task_seed(2016, "forgery", bits, batch)
+                 for bits in range(8) for batch in range(8)}
+        assert len(seeds) == 64
+        assert task_seed(1, 2) != task_seed(12, "")
+
+    def test_task_rng_streams_are_reproducible(self):
+        a = task_rng(7, "x").random()
+        b = task_rng(7, "x").random()
+        assert a == b
+
+    def test_sample_faults_accepts_injected_rng(self):
+        image = transform(parse("main:\n    halt\n"), KEYS, nonce=1)
+        by_seed = sample_faults(image, 100, per_model=4, seed=55)
+        by_rng = sample_faults(image, 100, per_model=4,
+                               rng=random.Random(55))
+        assert by_seed == by_rng
+        # and a different stream draws a different population
+        assert by_seed != sample_faults(image, 100, per_model=4, seed=56)
+
+
+class TestCampaignEquivalence:
+    def test_fault_campaign_parallel_matches_serial(self):
+        workload = make_workload("crc32", "tiny")
+        program = workload.compile().program
+        serial, serial_summary = fault_campaign(
+            program, KEYS, workload.expected_output, per_model=2, seed=9)
+        parallel, parallel_summary = fault_campaign(
+            program, KEYS, workload.expected_output, per_model=2, seed=9,
+            parallel=True, jobs=2)
+        assert [(r.model, r.outcome, r.description, r.status, r.detail)
+                for r in serial] == \
+               [(r.model, r.outcome, r.description, r.status, r.detail)
+                for r in parallel]
+        assert serial_summary.counts == parallel_summary.counts
+
+    def test_attack_campaign_parallel_matches_serial(self):
+        serial = attack_campaign(seed=1337)
+        parallel = attack_campaign(seed=1337, parallel=True, jobs=2)
+        assert [(r.attack, r.target, r.outcome, r.status, r.detail)
+                for r in serial] == \
+               [(r.attack, r.target, r.outcome, r.status, r.detail)
+                for r in parallel]
+
+    def test_montecarlo_parallel_is_jobs_independent(self):
+        two = forgery_scaling(bits_list=(4, 6), experiments=60,
+                              parallel=True, jobs=2)
+        three = forgery_scaling(bits_list=(4, 6), experiments=60,
+                                parallel=True, jobs=3)
+        assert two == three
+        escape2 = tamper_detection(bits=4, tampers=800, parallel=True,
+                                   jobs=2)
+        escape3 = tamper_detection(bits=4, tampers=800, parallel=True,
+                                   jobs=3)
+        assert escape2 == escape3
+
+
+class TestBuildCache:
+    def setup_method(self):
+        clear_build_cache()
+
+    def teardown_method(self):
+        clear_build_cache()
+
+    def test_repeated_point_hits_image_cache(self):
+        point = OverheadPoint(workload="crc32", scale="tiny")
+        first = measure_point(point)
+        second = measure_point(OverheadPoint(workload="crc32",
+                                             scale="tiny"))
+        stats = build_cache().stats
+        assert first == second
+        assert stats.image_misses == 1
+        assert stats.image_hits == 1
+        assert stats.compile_misses == 1
+        assert stats.compile_hits == 1
+
+    def test_timing_variants_share_one_build(self):
+        from repro.sim.timing import TimingParams
+        points = [OverheadPoint(workload="crc32", scale="tiny",
+                                timing=TimingParams(icache_lines=lines))
+                  for lines in (8, 32, 128)]
+        rows = measure_many(points)
+        stats = build_cache().stats
+        assert len(rows) == 3
+        assert stats.image_misses == 1 and stats.image_hits == 2
+        # smaller caches can only be slower
+        assert rows[0].sofia_cycles >= rows[2].sofia_cycles
+
+    def test_distinct_configs_build_distinct_images(self):
+        from repro.transform.config import TransformConfig
+        measure_point(OverheadPoint(workload="crc32", scale="tiny"))
+        measure_point(OverheadPoint(
+            workload="crc32", scale="tiny",
+            config=TransformConfig(block_words=6)))
+        stats = build_cache().stats
+        assert stats.image_misses == 2
+        assert stats.compile_misses == 1  # compile is config-independent
+
+    def test_cached_point_matches_uncached_measurement(self):
+        point = OverheadPoint(workload="crc32", scale="tiny")
+        cached = measure_point(point)
+        direct = measure_overhead(make_workload("crc32", "tiny"))
+        assert cached == direct
+
+
+class TestExport:
+    def test_campaign_json_round_trip(self, tmp_path):
+        workload = make_workload("crc32", "tiny")
+        path = tmp_path / "faults.json"
+        results, _ = fault_campaign(
+            workload.compile().program, KEYS, workload.expected_output,
+            per_model=1, seed=3, export_path=path)
+        record = json.loads(path.read_text())
+        assert record["campaign"] == "fault-injection"
+        assert record["num_results"] == len(results)
+        assert record["parameters"]["per_model"] == 1
+        first = record["results"][0]
+        assert first["model"] == results[0].model
+        assert first["outcome"] == results[0].outcome.value
+
+    def test_to_jsonable_handles_repo_types(self):
+        from repro.faults import CodeBitFlip, FaultOutcome
+        value = to_jsonable({
+            "fault": CodeBitFlip(5, address=8, bit=1),
+            "outcome": FaultOutcome.DETECTED,
+            "seq": (1, 2),
+        })
+        assert value["fault"]["address"] == 8
+        assert value["outcome"] == "detected"
+        assert value["seq"] == [1, 2]
+
+    def test_campaign_record_shape(self, tmp_path):
+        record = campaign_record("demo", {"seed": 1}, [1, 2, 3], jobs=2,
+                                 elapsed_seconds=0.5)
+        target = write_campaign(tmp_path / "demo.json", record)
+        loaded = json.loads(target.read_text())
+        assert loaded["jobs"] == 2
+        assert loaded["elapsed_seconds"] == 0.5
+        assert loaded["results"] == [1, 2, 3]
+
+
+class TestCli:
+    def test_attack_jobs_and_export(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "attack.json"
+        assert main(["attack", "--jobs", "2", "--export", str(out)]) == 0
+        matrix = capsys.readouterr().out
+        assert "sofia" in matrix and "detected" in matrix
+        record = json.loads(out.read_text())
+        assert record["campaign"] == "attack-matrix"
+        assert record["jobs"] == 2
+
+    def test_experiments_jobs_flag(self, capsys):
+        from repro.cli import main
+        assert main(["experiments", "security", "--jobs", "2"]) == 0
+        assert "Monte-Carlo" in capsys.readouterr().out
