@@ -19,7 +19,7 @@ and no control-flow binding.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..crypto.rectangle import Rectangle80
 from ..errors import DecodingError, SimulationError
@@ -58,13 +58,14 @@ class XorIsrMachine(VanillaMachine):
     """Vanilla core with an XOR decryption stage in instruction fetch."""
 
     def __init__(self, executable: Executable, key: int,
-                 timing: TimingParams = DEFAULT_TIMING) -> None:
+                 timing: TimingParams = DEFAULT_TIMING,
+                 engine: Optional[str] = None) -> None:
         encrypted = Executable(
             code_words=xor_encrypt_words(executable.code_words, key),
             data=executable.data, symbols=executable.symbols,
             entry=executable.entry, code_base=executable.code_base,
             data_base=executable.data_base)
-        super().__init__(encrypted, timing)
+        super().__init__(encrypted, timing, engine=engine)
         self.key = key & 0xFFFFFFFF
 
     def _fetch_decode(self, pc: int) -> Instruction:
@@ -81,17 +82,18 @@ class EcbIsrMachine(VanillaMachine):
     """Vanilla core with pairwise RECTANGLE-ECB instruction decryption."""
 
     def __init__(self, executable: Executable, key: int,
-                 timing: TimingParams = DEFAULT_TIMING) -> None:
+                 timing: TimingParams = DEFAULT_TIMING,
+                 engine: Optional[str] = None) -> None:
         self.cipher = Rectangle80(key)
         encrypted = Executable(
             code_words=ecb_encrypt_words(executable.code_words, self.cipher),
             data=executable.data, symbols=executable.symbols,
             entry=executable.entry, code_base=executable.code_base,
             data_base=executable.data_base)
-        super().__init__(encrypted, timing)
+        super().__init__(encrypted, timing, engine=engine)
         # ECB pairs couple adjacent words: a write to either invalidates
         # both decoded entries, so just drop everything on any code write.
-        self.memory.add_code_listener(lambda _addr: self._decoded.clear())
+        self.memory.add_code_listener(lambda _addr: self._flush_decoded())
 
     def _fetch_decode(self, pc: int) -> Instruction:
         cached = self._decoded.get(pc)

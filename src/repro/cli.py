@@ -18,8 +18,11 @@ Keys are derived from ``--seed`` (a stand-in for device provisioning);
 images embed their nonce.  The ``attack`` and ``experiments`` commands
 accept ``--jobs N`` to fan their campaigns across N worker processes via
 :mod:`repro.runner` (``--jobs 0`` means one per CPU; the default of 1
-runs the bit-identical serial path).  Exit status: 0 on success, 1 on a
-program error (assembly/compile/transform failure), 2 on bad usage.
+runs the bit-identical serial path).  ``run`` and ``run-protected``
+accept ``--engine {predecoded,reference}`` to pin the execution engine
+(:mod:`repro.sim.engine`); results are bit-identical either way.  Exit
+status: 0 on success, 1 on a program error (assembly/compile/transform
+failure), 2 on bad usage.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from .eval import (experiment_adpcm, experiment_blocksize,
                    experiment_workloads, format_overhead_rows,
                    render_blocksize, render_muxtree, render_unroll)
 from .isa.disassembler import dump
+from .sim.engine import ENGINES
 from .sim.trace import list_image, trace_vanilla
 from .sim.vanilla import VanillaMachine
 from .transform.config import TransformConfig
@@ -78,7 +82,8 @@ def cmd_compile(args) -> int:
 def cmd_run(args) -> int:
     program = _load_program(args.source, optimize=args.optimize)
     result = core.run_vanilla(core.link_vanilla(program),
-                              max_instructions=args.max_instructions)
+                              max_instructions=args.max_instructions,
+                              engine=args.engine)
     return _print_result(result)
 
 
@@ -109,7 +114,8 @@ def cmd_run_protected(args) -> int:
     image = SofiaImage.from_bytes(Path(args.image).read_bytes())
     keys = DeviceKeys.from_seed(args.seed)
     result = core.run_protected(image, keys,
-                                max_instructions=args.max_instructions)
+                                max_instructions=args.max_instructions,
+                                engine=args.engine)
     return _print_result(result)
 
 
@@ -212,6 +218,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-instructions", type=int, default=50_000_000)
     p.add_argument("-O", "--optimize", action="store_true",
                    help="enable the minicc peephole optimizer")
+    p.add_argument("--engine", choices=ENGINES, default=None,
+                   help="execution engine (default: predecoded)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("protect", help="build a SOFIA image")
@@ -234,6 +242,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("image")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p.add_argument("--engine", choices=ENGINES, default=None,
+                   help="execution engine (default: predecoded)")
     p.set_defaults(func=cmd_run_protected)
 
     p = sub.add_parser("disasm", help="disassemble (vanilla layout)")

@@ -77,23 +77,33 @@ def protect(program: ProgramLike, keys: DeviceKeys, nonce: int,
 
 def run_vanilla(executable: Executable,
                 timing: TimingParams = DEFAULT_TIMING,
-                max_instructions: int = 50_000_000) -> ExecutionResult:
-    """Run an unprotected binary on the vanilla core."""
-    return VanillaMachine(executable, timing).run(max_instructions)
+                max_instructions: int = 50_000_000,
+                engine: Optional[str] = None) -> ExecutionResult:
+    """Run an unprotected binary on the vanilla core.
+
+    ``engine`` selects the execution engine (``"predecoded"`` by default,
+    ``"reference"`` for the semantics-oracle loop; see
+    :mod:`repro.sim.engine`).
+    """
+    return VanillaMachine(executable, timing, engine=engine).run(
+        max_instructions)
 
 
 def run_protected(image: SofiaImage, keys: DeviceKeys,
                   timing: TimingParams = DEFAULT_TIMING,
-                  max_instructions: int = 50_000_000) -> ExecutionResult:
+                  max_instructions: int = 50_000_000,
+                  engine: Optional[str] = None) -> ExecutionResult:
     """Run a protected image on the SOFIA core."""
-    return SofiaMachine(image, keys, timing).run(max_instructions)
+    return SofiaMachine(image, keys, timing, engine=engine).run(
+        max_instructions)
 
 
 def protect_and_run(program: ProgramLike, seed: int = 1, nonce: int = 1,
                     config: TransformConfig = DEFAULT_CONFIG,
                     timing: TimingParams = DEFAULT_TIMING,
-                    max_instructions: int = 50_000_000) -> ExecutionResult:
+                    max_instructions: int = 50_000_000,
+                    engine: Optional[str] = None) -> ExecutionResult:
     """One-call convenience: provision keys, protect, run."""
     keys = make_keys(seed)
     image = protect(program, keys, nonce, config)
-    return run_protected(image, keys, timing, max_instructions)
+    return run_protected(image, keys, timing, max_instructions, engine=engine)

@@ -25,10 +25,11 @@ structural properties (invertibility, avalanche, key sensitivity) rather
 than published vectors.  SOFIA's security argument only requires a 64-bit
 PRP, which these properties evidence.
 
-Performance: ``SubColumn`` is implemented with precomputed 16-bit spread /
-substitute / gather tables so a full encryption costs a few hundred Python
-operations instead of 16x25 per-column loops.  The tables are built lazily
-on first use.
+Performance: the round loops run in *column space* — nibble ``i`` of the
+working 64-bit value holds column ``i`` of the state — built on
+precomputed 16-bit spread / substitute / gather tables, so a full
+encryption costs a few hundred Python operations instead of 16x25
+per-column loops.  The tables are built lazily on first use.
 """
 
 from __future__ import annotations
@@ -119,32 +120,6 @@ def _build_tables() -> None:
     _SPREAD, _SUB16, _SUB16_INV, _GATHER = spread, sub16, sub16_inv, gather
 
 
-def _sub_column(rows: List[int], inverse: bool = False) -> List[int]:
-    """Apply the S-box to all 16 columns of the 4x16 state in parallel."""
-    _build_tables()
-    assert _SPREAD is not None and _SUB16 is not None
-    assert _SUB16_INV is not None and _GATHER is not None
-    cols = (_SPREAD[rows[0]]
-            | (_SPREAD[rows[1]] << 1)
-            | (_SPREAD[rows[2]] << 2)
-            | (_SPREAD[rows[3]] << 3))
-    table = _SUB16_INV if inverse else _SUB16
-    c0 = table[cols & 0xFFFF]
-    c1 = table[(cols >> 16) & 0xFFFF]
-    c2 = table[(cols >> 32) & 0xFFFF]
-    c3 = table[(cols >> 48) & 0xFFFF]
-    out = []
-    for k in range(4):
-        g = _GATHER[k]
-        out.append(g[c0] | (g[c1] << 4) | (g[c2] << 8) | (g[c3] << 12))
-    return out
-
-
-def _block_to_rows(block: int) -> List[int]:
-    block &= MASK64
-    return [(block >> (16 * i)) & MASK16 for i in range(4)]
-
-
 def _rows_to_block(rows: Sequence[int]) -> int:
     return (rows[0] | (rows[1] << 16) | (rows[2] << 32) | (rows[3] << 48)) & MASK64
 
@@ -162,6 +137,15 @@ class Rectangle80:
             raise ValueError(f"key must be an unsigned {KEY_BITS}-bit integer")
         self.key = key
         self._round_keys = self._expand_key(key)
+        _build_tables()
+        # round keys pre-converted to column space for the round loop:
+        # bit i of row r sits at position 4*i + r, like _SPREAD lays out
+        self._col_keys = tuple(
+            (_SPREAD[rk & MASK16]
+             | (_SPREAD[(rk >> 16) & MASK16] << 1)
+             | (_SPREAD[(rk >> 32) & MASK16] << 2)
+             | (_SPREAD[(rk >> 48) & MASK16] << 3))
+            for rk in self._round_keys)
 
     @classmethod
     def from_bytes(cls, key: bytes) -> "Rectangle80":
@@ -203,39 +187,87 @@ class Rectangle80:
         return round_keys
 
     def encrypt(self, block: int) -> int:
-        """Encrypt one 64-bit block."""
-        rows = _block_to_rows(block)
-        keys = self._round_keys
+        """Encrypt one 64-bit block.
+
+        The round loop is the hot path of every SOFIA image decrypt and
+        MAC check, so it runs fully inlined in *column space*: nibble
+        ``i`` of the working value holds column ``i`` of the 4x16 state
+        (bit ``r`` of the nibble = row ``r``, the `_SPREAD` layout).
+        There SubColumn is four `_SUB16` chunk lookups, AddRoundKey is
+        one XOR with a pre-converted key, and ShiftRow — rotating row
+        ``r`` left by ``ROW_ROTATIONS[r]`` — becomes a rotation of the
+        row's bit-plane by four bits per column, so the state never
+        round-trips through row form until the final gather.
+        """
+        r = block & MASK64
+        spread = _SPREAD
+        sub = _SUB16
+        col_keys = self._col_keys
+        c = (spread[r & 0xFFFF]
+             | (spread[(r >> 16) & 0xFFFF] << 1)
+             | (spread[(r >> 32) & 0xFFFF] << 2)
+             | (spread[r >> 48] << 3))
         for rnd in range(ROUNDS):
-            rk = keys[rnd]
-            rows[0] ^= rk & MASK16
-            rows[1] ^= (rk >> 16) & MASK16
-            rows[2] ^= (rk >> 32) & MASK16
-            rows[3] ^= (rk >> 48) & MASK16
-            rows = _sub_column(rows)
-            rows = [rotl16(rows[i], ROW_ROTATIONS[i]) for i in range(4)]
-        rk = keys[ROUNDS]
-        rows[0] ^= rk & MASK16
-        rows[1] ^= (rk >> 16) & MASK16
-        rows[2] ^= (rk >> 32) & MASK16
-        rows[3] ^= (rk >> 48) & MASK16
-        return _rows_to_block(rows)
+            c ^= col_keys[rnd]
+            c = (sub[c & 0xFFFF]
+                 | (sub[(c >> 16) & 0xFFFF] << 16)
+                 | (sub[(c >> 32) & 0xFFFF] << 32)
+                 | (sub[c >> 48] << 48))
+            p1 = c & 0x2222222222222222
+            p2 = c & 0x4444444444444444
+            p3 = c & 0x8888888888888888
+            c = ((c & 0x1111111111111111)
+                 | (((p1 << 4) | (p1 >> 60)) & MASK64)
+                 | (((p2 << 48) | (p2 >> 16)) & MASK64)
+                 | (((p3 << 52) | (p3 >> 12)) & MASK64))
+        c ^= col_keys[ROUNDS]
+        g0, g1, g2, g3 = _GATHER
+        c0 = c & 0xFFFF
+        c1 = (c >> 16) & 0xFFFF
+        c2 = (c >> 32) & 0xFFFF
+        c3 = c >> 48
+        return ((g0[c0] | (g0[c1] << 4) | (g0[c2] << 8) | (g0[c3] << 12))
+                | ((g1[c0] | (g1[c1] << 4) | (g1[c2] << 8)
+                    | (g1[c3] << 12)) << 16)
+                | ((g2[c0] | (g2[c1] << 4) | (g2[c2] << 8)
+                    | (g2[c3] << 12)) << 32)
+                | ((g3[c0] | (g3[c1] << 4) | (g3[c2] << 8)
+                    | (g3[c3] << 12)) << 48))
 
     def decrypt(self, block: int) -> int:
         """Decrypt one 64-bit block (inverse of :meth:`encrypt`)."""
-        rows = _block_to_rows(block)
-        keys = self._round_keys
-        rk = keys[ROUNDS]
-        rows[0] ^= rk & MASK16
-        rows[1] ^= (rk >> 16) & MASK16
-        rows[2] ^= (rk >> 32) & MASK16
-        rows[3] ^= (rk >> 48) & MASK16
+        r = block & MASK64
+        spread = _SPREAD
+        sub_inv = _SUB16_INV
+        col_keys = self._col_keys
+        c = (spread[r & 0xFFFF]
+             | (spread[(r >> 16) & 0xFFFF] << 1)
+             | (spread[(r >> 32) & 0xFFFF] << 2)
+             | (spread[r >> 48] << 3))
+        c ^= col_keys[ROUNDS]
         for rnd in range(ROUNDS - 1, -1, -1):
-            rows = [rotl16(rows[i], 16 - ROW_ROTATIONS[i]) for i in range(4)]
-            rows = _sub_column(rows, inverse=True)
-            rk = keys[rnd]
-            rows[0] ^= rk & MASK16
-            rows[1] ^= (rk >> 16) & MASK16
-            rows[2] ^= (rk >> 32) & MASK16
-            rows[3] ^= (rk >> 48) & MASK16
-        return _rows_to_block(rows)
+            # inverse ShiftRow: rotate the bit-planes right instead
+            p1 = c & 0x2222222222222222
+            p2 = c & 0x4444444444444444
+            p3 = c & 0x8888888888888888
+            c = ((c & 0x1111111111111111)
+                 | (((p1 >> 4) | (p1 << 60)) & MASK64)
+                 | (((p2 >> 48) | (p2 << 16)) & MASK64)
+                 | (((p3 >> 52) | (p3 << 12)) & MASK64))
+            c = (sub_inv[c & 0xFFFF]
+                 | (sub_inv[(c >> 16) & 0xFFFF] << 16)
+                 | (sub_inv[(c >> 32) & 0xFFFF] << 32)
+                 | (sub_inv[c >> 48] << 48))
+            c ^= col_keys[rnd]
+        g0, g1, g2, g3 = _GATHER
+        c0 = c & 0xFFFF
+        c1 = (c >> 16) & 0xFFFF
+        c2 = (c >> 32) & 0xFFFF
+        c3 = c >> 48
+        return ((g0[c0] | (g0[c1] << 4) | (g0[c2] << 8) | (g0[c3] << 12))
+                | ((g1[c0] | (g1[c1] << 4) | (g1[c2] << 8)
+                    | (g1[c3] << 12)) << 16)
+                | ((g2[c0] | (g2[c1] << 4) | (g2[c2] << 8)
+                    | (g2[c3] << 12)) << 32)
+                | ((g3[c0] | (g3[c1] << 4) | (g3[c2] << 8)
+                    | (g3[c3] << 12)) << 48))

@@ -72,14 +72,16 @@ class OverheadRow:
 
 def _run_both(workload: Workload, exe: Executable, image: SofiaImage,
               keys: DeviceKeys, timing: TimingParams,
-              max_instructions: int) -> OverheadRow:
+              max_instructions: int,
+              engine: Optional[str] = None) -> OverheadRow:
     """Run both cores against a prepared build and assemble the row."""
-    vanilla = VanillaMachine(exe, timing).run(max_instructions)
+    vanilla = VanillaMachine(exe, timing, engine=engine).run(max_instructions)
     if vanilla.output_ints != workload.expected_output:
         raise SimulationError(
             f"{workload.name}: vanilla output {vanilla.output_ints} != "
             f"golden {workload.expected_output}")
-    sofia = SofiaMachine(image, keys, timing).run(max_instructions)
+    sofia = SofiaMachine(image, keys, timing, engine=engine).run(
+        max_instructions)
     if sofia.output_ints != workload.expected_output:
         raise SimulationError(
             f"{workload.name}: SOFIA output {sofia.output_ints} != "
@@ -106,13 +108,20 @@ def measure_overhead(workload: Workload,
                      timing: TimingParams = DEFAULT_TIMING,
                      config: TransformConfig = DEFAULT_CONFIG,
                      nonce: int = 0x2016,
-                     max_instructions: int = 50_000_000) -> OverheadRow:
-    """Compile, run on both cores, verify outputs, return the metrics."""
+                     max_instructions: int = 50_000_000,
+                     engine: Optional[str] = None) -> OverheadRow:
+    """Compile, run on both cores, verify outputs, return the metrics.
+
+    Rows are engine-independent by construction (the engines produce
+    bit-identical cycle counts); ``engine`` exists so sweeps can pin the
+    reference oracle when re-validating paper numbers.
+    """
     keys = keys or _DEFAULT_KEYS
     compiled = workload.compile()
     exe = assemble(compiled.program)
     image = transform(compiled.program, keys, nonce=nonce, config=config)
-    return _run_both(workload, exe, image, keys, timing, max_instructions)
+    return _run_both(workload, exe, image, keys, timing, max_instructions,
+                     engine=engine)
 
 
 @dataclass(frozen=True)
@@ -131,6 +140,9 @@ class OverheadPoint:
     timing: TimingParams = DEFAULT_TIMING
     config: TransformConfig = DEFAULT_CONFIG
     max_instructions: int = 50_000_000
+    #: execution engine (None = the default predecoded engine); rows are
+    #: bit-identical across engines, this pins one for A/B validation
+    engine: Optional[str] = None
 
     @property
     def build_spec(self) -> BuildSpec:
@@ -148,7 +160,7 @@ def measure_point(point: OverheadPoint) -> OverheadRow:
     """
     workload, exe, image, keys = build_cache().protected(point.build_spec)
     return _run_both(workload, exe, image, keys, point.timing,
-                     point.max_instructions)
+                     point.max_instructions, engine=point.engine)
 
 
 def measure_many(points: List[OverheadPoint], *,

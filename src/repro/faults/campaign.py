@@ -95,9 +95,10 @@ class CampaignSummary:
 
 def run_fault(image: SofiaImage, keys: DeviceKeys, fault: FaultSpec,
               golden_output: Sequence[int],
-              max_instructions: int = 2_000_000) -> FaultResult:
+              max_instructions: int = 2_000_000,
+              engine: Optional[str] = None) -> FaultResult:
     """Inject one fault into a fresh protected run and classify it."""
-    machine = SofiaMachine(image, keys)
+    machine = SofiaMachine(image, keys, engine=engine)
     if fault.trigger_instructions > 0:
         machine.run(max_instructions=fault.trigger_instructions)
     description = fault.inject(machine)
@@ -174,14 +175,16 @@ _WORKER_CTX: Optional[tuple] = None
 
 def _init_fault_worker(image: SofiaImage, keys: DeviceKeys,
                        golden_output: List[int],
-                       max_instructions: int) -> None:
+                       max_instructions: int,
+                       engine: Optional[str] = None) -> None:
     global _WORKER_CTX
-    _WORKER_CTX = (image, keys, golden_output, max_instructions)
+    _WORKER_CTX = (image, keys, golden_output, max_instructions, engine)
 
 
 def _fault_task(fault: FaultSpec) -> FaultResult:
-    image, keys, golden_output, max_instructions = _WORKER_CTX
-    return run_fault(image, keys, fault, golden_output, max_instructions)
+    image, keys, golden_output, max_instructions, engine = _WORKER_CTX
+    return run_fault(image, keys, fault, golden_output, max_instructions,
+                     engine=engine)
 
 
 def run_campaign(program: AsmProgram, keys: DeviceKeys,
@@ -190,7 +193,7 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
                  max_instructions: int = 2_000_000,
                  rng: Optional[random.Random] = None,
                  parallel: bool = False, jobs: Optional[int] = None,
-                 export_path=None
+                 export_path=None, engine: Optional[str] = None
                  ) -> "tuple[List[FaultResult], CampaignSummary]":
     """Full campaign on one program; returns per-fault results + summary.
 
@@ -203,7 +206,7 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
     """
     started = time.perf_counter()
     image = transform(program, keys, nonce=nonce)
-    baseline = SofiaMachine(image, keys).run(max_instructions)
+    baseline = SofiaMachine(image, keys, engine=engine).run(max_instructions)
     if list(baseline.output_ints) != list(golden_output) or not baseline.ok:
         raise AssertionError(
             f"golden run broken: {baseline.summary()} "
@@ -215,7 +218,8 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
         results = run_tasks(
             _fault_task, faults, jobs=jobs, parallel=parallel,
             initializer=_init_fault_worker,
-            initargs=(image, keys, list(golden_output), max_instructions))
+            initargs=(image, keys, list(golden_output), max_instructions,
+                      engine))
     finally:
         _WORKER_CTX = None  # release the image pinned by the serial path
     summary = CampaignSummary()

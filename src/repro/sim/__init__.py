@@ -2,13 +2,15 @@
 
 from .cache import CacheStats, DirectMappedCache
 from .core import CPUState, ExecOutcome, execute, to_signed
+from .engine import (DEFAULT_ENGINE, ENGINES, compile_handler, predecode,
+                     resolve_engine)
 from .memory import Memory, MMIODevice
 from .result import ExecutionResult, Status, ViolationRecord
 from .sofia import SofiaMachine, run_image
 from .trace import (TraceEntry, diff_traces, list_image, trace_sofia,
                     trace_vanilla)
 from .timing import (DEFAULT_TIMING, LEON3_MINIMAL_TIMING, TimingParams,
-                     instruction_cycles)
+                     cycle_costs, instruction_cycles)
 from .vanilla import VanillaMachine, run_executable
 
 __all__ = [
@@ -18,8 +20,10 @@ __all__ = [
     "ExecutionResult", "Status", "ViolationRecord",
     "VanillaMachine", "run_executable",
     "SofiaMachine", "run_image",
+    "DEFAULT_ENGINE", "ENGINES", "resolve_engine",
+    "compile_handler", "predecode",
     "TimingParams", "DEFAULT_TIMING", "LEON3_MINIMAL_TIMING",
-    "instruction_cycles",
+    "instruction_cycles", "cycle_costs",
     "TraceEntry", "trace_vanilla", "trace_sofia", "diff_traces",
     "list_image",
 ]

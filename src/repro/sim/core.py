@@ -145,13 +145,13 @@ def execute(instr: Instruction, state: CPUState, memory: Memory,
         state.write(instr.rd, regs[instr.rs1] ^ instr.imm)
         return ExecOutcome()
     if name == "slli":
-        state.write(instr.rd, regs[instr.rs1] << instr.imm)
+        state.write(instr.rd, regs[instr.rs1] << (instr.imm & 31))
         return ExecOutcome()
     if name == "srli":
-        state.write(instr.rd, (regs[instr.rs1] & MASK32) >> instr.imm)
+        state.write(instr.rd, (regs[instr.rs1] & MASK32) >> (instr.imm & 31))
         return ExecOutcome()
     if name == "srai":
-        state.write(instr.rd, to_signed(regs[instr.rs1]) >> instr.imm)
+        state.write(instr.rd, to_signed(regs[instr.rs1]) >> (instr.imm & 31))
         return ExecOutcome()
     if name == "slti":
         state.write(instr.rd, int(to_signed(regs[instr.rs1]) < instr.imm))

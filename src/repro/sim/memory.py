@@ -77,12 +77,18 @@ class Memory:
         self.ram[:len(data)] = data
         self.mmio = mmio if mmio is not None else MMIODevice()
         self._code_listeners: List[Callable[[int], None]] = []
+        # the code region never grows or shrinks (poke_code writes in
+        # place), so its limit is a plain attribute, not a recomputation
+        self.code_limit = code_base + 4 * len(self.code)
+        # the load/store fast path may only claim an address when the RAM
+        # window cannot shadow the code region or MMIO; otherwise disable
+        # it (impossible range) and let the canonical region checks decide
+        if self.code_limit <= data_base and data_limit <= MMIO_BASE:
+            self._ram_size = len(self.ram)
+        else:
+            self._ram_size = -1
 
     # -- code region -----------------------------------------------------
-
-    @property
-    def code_limit(self) -> int:
-        return self.code_base + 4 * len(self.code)
 
     def in_code(self, address: int) -> bool:
         return self.code_base <= address < self.code_limit
@@ -120,6 +126,17 @@ class Memory:
     def load(self, address: int, size: int, signed: bool) -> int:
         if address % size:
             raise SimulationError(f"misaligned load at 0x{address:08x}")
+        # fast path: an aligned access inside data RAM (the overwhelmingly
+        # common case); everything else falls through to the region checks
+        # with their original error behaviour
+        offset = address - self.data_base
+        if 0 <= offset <= self._ram_size - size:
+            raw = int.from_bytes(self.ram[offset:offset + size], "big")
+            if signed:
+                sign_bit = 1 << (8 * size - 1)
+                if raw & sign_bit:
+                    raw -= 1 << (8 * size)
+            return raw & MASK32
         if address >= MMIO_BASE:
             return self.mmio.load(address)
         if self.in_code(address):
@@ -138,6 +155,11 @@ class Memory:
     def store(self, address: int, value: int, size: int) -> None:
         if address % size:
             raise SimulationError(f"misaligned store at 0x{address:08x}")
+        offset = address - self.data_base
+        if 0 <= offset <= self._ram_size - size:
+            self.ram[offset:offset + size] = (
+                (value & ((1 << (8 * size)) - 1)).to_bytes(size, "big"))
+            return
         if address >= MMIO_BASE:
             if size != 4:
                 raise SimulationError("MMIO stores must be word sized")

@@ -35,6 +35,7 @@ from ..transform.config import RESET_PREV_PC, TransformConfig
 from ..transform.image import SofiaImage
 from .cache import DirectMappedCache
 from .core import CPUState, execute
+from .engine import compile_fetch_runs, predecode_payload, resolve_engine
 from .memory import Memory
 from .result import ExecutionResult, Status, ViolationRecord
 from .timing import DEFAULT_TIMING, TimingParams, instruction_cycles
@@ -52,6 +53,10 @@ class _VerifiedBlock:
     payload: Tuple[Tuple[Instruction, int, int], ...] = ()  # (instr, addr, slot)
     violation: Optional[ViolationRecord] = None
     decode_failure: Optional[Tuple[int, str]] = None  # (slot, reason)
+    #: everything the predecoded engine needs per traversal, precompiled
+    #: into one tuple on the block's first traversal (dies with the block
+    #: on any code write); see ``SofiaMachine._compile_hot``
+    hot: Optional[tuple] = None
 
 
 class SofiaMachine:
@@ -59,11 +64,13 @@ class SofiaMachine:
 
     def __init__(self, image: SofiaImage, keys: DeviceKeys,
                  timing: TimingParams = DEFAULT_TIMING,
-                 memoize: bool = True) -> None:
+                 memoize: bool = True,
+                 engine: Optional[str] = None) -> None:
         self.image = image
         self.keys = keys
         self.timing = timing
         self.memoize = memoize
+        self.engine = resolve_engine(engine)
         self.memory = Memory(image.words, code_base=image.code_base,
                              data=image.data, data_base=image.data_base)
         self.icache = DirectMappedCache(timing.icache_lines,
@@ -235,6 +242,12 @@ class SofiaMachine:
     # -- the machine loop ---------------------------------------------------
 
     def run(self, max_instructions: int = 50_000_000) -> ExecutionResult:
+        if self.engine == "reference":
+            return self._run_reference(max_instructions)
+        return self._run_predecoded(max_instructions)
+
+    def _run_reference(self, max_instructions: int) -> ExecutionResult:
+        """The oracle loop: one ``core.execute`` call per payload slot."""
         state = self.state
         timing = self.timing
         icache = self.icache
@@ -328,9 +341,184 @@ class SofiaMachine:
             blocks_executed=blocks_executed,
             mac_fetch_cycles=mac_fetch_cycles)
 
+    def _compile_hot(self, block: _VerifiedBlock) -> tuple:
+        """Precompile one verified block for the predecoded engine.
+
+        Returns ``(ok, n_fetch, fetch_runs, mac_cycles, steps,
+        fallthrough_prev, fallthrough_pc, violation, trap_reason)`` — the
+        whole per-traversal working set in one tuple, so the run loop
+        unpacks once instead of walking dataclass attributes.
+        """
+        icache = self.icache
+        runs = compile_fetch_runs(block.fetch_addresses,
+                                  icache.line_bytes.bit_length() - 1,
+                                  icache.lines - 1,
+                                  icache.lines.bit_length() - 1)
+        steps = predecode_payload(block.payload, self.timing)
+        block_bytes = self.image.block_bytes
+        trap_reason = None
+        if block.decode_failure is not None:
+            trap_reason = (f"illegal instruction in verified block: "
+                           f"{block.decode_failure[1]}")
+        return (block.ok, len(block.fetch_addresses), runs,
+                self.timing.mac_word_cycles * block.mac_slots, steps,
+                block.base + block_bytes - 4, block.base + block_bytes,
+                block.violation, trap_reason)
+
+    def _run_predecoded(self, max_instructions: int) -> ExecutionResult:
+        """The fast loop: verified blocks carry precompiled hot tuples.
+
+        Behaviour is bit-identical to :meth:`_run_reference` — same
+        commit/hook ordering, same cycle, MAC-slot and I-cache accounting,
+        same reset/trap points.  The decrypt/verify front-end is shared
+        (and memoized) with the reference engine; each verified block
+        additionally caches a hot tuple (:meth:`_compile_hot`) holding its
+        compiled payload steps and its fetch addresses collapsed into
+        same-cache-line runs (one tag check per line instead of per word,
+        with identical statistics).  When no ``on_commit`` hook is
+        installed (bind it before calling :meth:`run`), an inner loop
+        specialized by step kind skips every post-commit check an inert
+        step provably cannot need; the generic inner loop mirrors the
+        reference ordering check for check.
+        """
+        state = self.state
+        icache = self.icache
+        memory = self.memory
+        mmio = memory.mmio
+        regs = state.regs
+        on_commit = self.on_commit
+        get_block = self._block_cache.get
+        miss_penalty = self.timing.icache_miss_penalty
+        tags = icache._tags
+        hits = 0
+        misses = 0
+        pc = state.pc
+        prev_pc = self.prev_pc
+        cycles = 0
+        executed = 0
+        blocks_executed = 0
+        mac_fetch_cycles = 0
+        status: Optional[Status] = None
+        trap_reason = ""
+        violation: Optional[ViolationRecord] = None
+        # a resumed run can start with the exit register already written;
+        # the oracle still executes one instruction before noticing — the
+        # generic loop polls unconditionally, so take it in that case
+        generic = (on_commit is not None) or mmio.exit_code is not None
+
+        while executed < max_instructions:
+            block = get_block((prev_pc, pc))
+            if block is None:
+                block = self.decrypt_and_verify(prev_pc, pc)
+            hot = block.hot
+            if hot is None:
+                hot = block.hot = self._compile_hot(block)
+            (ok, fetch_cycles, runs, mac_cycles, steps,
+             fallthrough_prev, fallthrough_pc, block_violation,
+             block_trap) = hot
+            blocks_executed += 1
+            for index, tag, count in runs:
+                if tags[index] == tag:
+                    hits += count
+                else:
+                    tags[index] = tag
+                    misses += 1
+                    hits += count - 1
+                    fetch_cycles += miss_penalty
+            mac_fetch_cycles += mac_cycles
+            if not ok:
+                cycles += fetch_cycles
+                status = Status.RESET
+                violation = block_violation
+                break
+
+            transferred = False
+            exec_cycles = 0
+            if generic:
+                for run_h, cyc_seq, cyc_taken, kind, address, instr in steps:
+                    try:
+                        target = run_h(regs, memory, address)
+                    except SimulationError as exc:
+                        status, trap_reason = Status.TRAP, str(exc)
+                        break
+                    executed += 1
+                    exec_cycles += cyc_seq if target is None else cyc_taken
+                    if on_commit is not None:
+                        on_commit(address, instr)
+                    if target == -1:  # engine.HALT
+                        status = Status.HALT
+                        break
+                    if mmio.exit_code is not None:
+                        status = Status.EXIT
+                        break
+                    if kind == 2:  # KIND_CTI
+                        prev_pc = address
+                        pc = target if target is not None else fallthrough_pc
+                        transferred = True
+                        break
+            else:
+                for run_h, cyc_seq, cyc_taken, kind, address, instr in steps:
+                    try:
+                        target = run_h(regs, memory, address)
+                    except SimulationError as exc:
+                        status, trap_reason = Status.TRAP, str(exc)
+                        break
+                    executed += 1
+                    if kind == 0:          # inert: target is always None
+                        exec_cycles += cyc_seq
+                        continue
+                    if kind == 1:          # store: may have set exit
+                        exec_cycles += cyc_seq
+                        if mmio.exit_code is not None:
+                            status = Status.EXIT
+                            break
+                        continue
+                    if kind == 2:          # CTI: always ends the block
+                        if target is None:
+                            exec_cycles += cyc_seq
+                            pc = fallthrough_pc
+                        else:
+                            exec_cycles += cyc_taken
+                            pc = target
+                        prev_pc = address
+                        transferred = True
+                        break
+                    exec_cycles += cyc_seq  # halt
+                    status = Status.HALT
+                    break
+            cycles += fetch_cycles if fetch_cycles > exec_cycles \
+                else exec_cycles
+            if self.pending_fetch_restore is not None:
+                address, original = self.pending_fetch_restore
+                self.pending_fetch_restore = None
+                memory.poke_code(address, original)
+            if status is not None:
+                break
+            if block_trap is not None and not transferred:
+                status = Status.TRAP
+                trap_reason = block_trap
+                break
+            if not transferred:
+                # sequential fall-through into the next block
+                prev_pc = fallthrough_prev
+                pc = fallthrough_pc
+        self.state.pc = pc
+        self.prev_pc = prev_pc
+        icache.stats.hits += hits
+        icache.stats.misses += misses
+        return ExecutionResult(
+            status=status if status is not None else Status.LIMIT,
+            cycles=cycles, instructions=executed,
+            exit_code=mmio.exit_code, mmio=mmio, violation=violation,
+            trap_reason=trap_reason, icache=icache.stats,
+            blocks_executed=blocks_executed,
+            mac_fetch_cycles=mac_fetch_cycles)
+
 
 def run_image(image: SofiaImage, keys: DeviceKeys,
               timing: TimingParams = DEFAULT_TIMING,
-              max_instructions: int = 50_000_000) -> ExecutionResult:
+              max_instructions: int = 50_000_000,
+              engine: Optional[str] = None) -> ExecutionResult:
     """Convenience one-shot runner."""
-    return SofiaMachine(image, keys, timing).run(max_instructions)
+    return SofiaMachine(image, keys, timing, engine=engine).run(
+        max_instructions)

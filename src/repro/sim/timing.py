@@ -69,3 +69,23 @@ def instruction_cycles(instr: Instruction, params: TimingParams,
     if spec.is_load or spec.is_store:
         cycles += params.memory_wait_states
     return cycles
+
+
+def cycle_costs(instr: Instruction, params: TimingParams) -> tuple:
+    """Both possible :func:`instruction_cycles` values, precomputed.
+
+    Returns ``(not_taken, taken)`` for the predecoded engine: only a
+    conditional branch has two distinct costs; unconditional transfers
+    carry the jump penalty in both slots (they always "take"), and every
+    other instruction costs the same either way.
+    """
+    spec = instr.spec
+    base = spec.cycles
+    if spec.is_load or spec.is_store:
+        base += params.memory_wait_states
+    if spec.is_branch:
+        return base, base + params.branch_taken_penalty
+    if spec.is_jump or spec.is_call or spec.is_indirect:
+        taken = base + params.jump_penalty
+        return taken, taken
+    return base, base

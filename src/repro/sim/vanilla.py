@@ -4,6 +4,13 @@ Executes a plain :class:`~repro.isa.program.Executable` with the shared
 functional core and cycle model.  This is the paper's baseline processor:
 it happily runs injected or tampered code — the attack suite uses exactly
 that property for its differential experiments.
+
+Two execution engines drive the same architectural model (see
+:mod:`repro.sim.engine`): the default ``"predecoded"`` engine steps
+per-PC-cached compiled handlers, and the ``"reference"`` engine steps
+:func:`repro.sim.core.execute` — the semantics oracle the differential
+suite locksteps against.  Both produce bit-identical
+:class:`~repro.sim.result.ExecutionResult`\\ s.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from ..isa.instructions import Instruction
 from ..isa.program import Executable
 from .cache import DirectMappedCache
 from .core import CPUState, execute
+from .engine import PredecodedStep, predecode, resolve_engine
 from .memory import Memory
 from .result import ExecutionResult, Status
 from .timing import DEFAULT_TIMING, TimingParams, instruction_cycles
@@ -25,9 +33,11 @@ class VanillaMachine:
     """Functional + cycle-accounting simulator of the unmodified core."""
 
     def __init__(self, executable: Executable,
-                 timing: TimingParams = DEFAULT_TIMING) -> None:
+                 timing: TimingParams = DEFAULT_TIMING,
+                 engine: Optional[str] = None) -> None:
         self.executable = executable
         self.timing = timing
+        self.engine = resolve_engine(engine)
         self.memory = Memory(executable.code_words,
                              code_base=executable.code_base,
                              data=executable.data,
@@ -36,8 +46,10 @@ class VanillaMachine:
                                         timing.icache_line_words)
         self.state = CPUState.reset(executable.entry)
         self._decoded: Dict[int, Instruction] = {}
+        self._predecoded: Dict[int, PredecodedStep] = {}
         #: optional tracing hook, called as on_commit(pc, instr) after each
-        #: committed instruction (see repro.sim.trace)
+        #: committed instruction (see repro.sim.trace); fires identically
+        #: under both engines
         self.on_commit = None
         # any code write invalidates decoded instructions (self-modifying
         # code / injection attacks must see their new bytes)
@@ -45,6 +57,12 @@ class VanillaMachine:
 
     def _on_code_write(self, address: int) -> None:
         self._decoded.pop(address, None)
+        self._predecoded.pop(address, None)
+
+    def _flush_decoded(self) -> None:
+        """Drop every cached decode/predecode (coupled-word encodings)."""
+        self._decoded.clear()
+        self._predecoded.clear()
 
     def _fetch_decode(self, pc: int) -> Instruction:
         cached = self._decoded.get(pc)
@@ -57,6 +75,12 @@ class VanillaMachine:
 
     def run(self, max_instructions: int = 50_000_000) -> ExecutionResult:
         """Run to completion (halt/exit/trap) or the instruction budget."""
+        if self.engine == "reference":
+            return self._run_reference(max_instructions)
+        return self._run_predecoded(max_instructions)
+
+    def _run_reference(self, max_instructions: int) -> ExecutionResult:
+        """The oracle loop: one ``core.execute`` call per instruction."""
         state = self.state
         memory = self.memory
         timing = self.timing
@@ -102,9 +126,103 @@ class VanillaMachine:
                                trap_reason=trap_reason,
                                icache=icache.stats)
 
+    def _run_predecoded(self, max_instructions: int) -> ExecutionResult:
+        """The fast loop: step per-PC-cached compiled handlers.
+
+        Observable behaviour is bit-identical to :meth:`_run_reference`
+        at every commit: same register/memory effects, same cycle and
+        I-cache accounting, same hook firing order, same trap points.
+        Loop invariants are hoisted hard: the I-cache lookup is inlined
+        (local tag list and hit/miss counters flushed to ``icache.stats``
+        on exit), the ``on_commit`` hook and register file are bound once
+        (install the hook before calling :meth:`run`), and the MMIO exit
+        poll only runs after stores — the only steps that can set it.
+        """
+        state = self.state
+        memory = self.memory
+        timing = self.timing
+        icache = self.icache
+        mmio = memory.mmio
+        regs = state.regs
+        on_commit = self.on_commit
+        get_step = self._predecoded.get
+        predecoded = self._predecoded
+        miss_penalty = timing.icache_miss_penalty
+        tags = icache._tags
+        line_shift = icache.line_bytes.bit_length() - 1
+        lines_mask = icache.lines - 1
+        lines_shift = icache.lines.bit_length() - 1
+        hits = 0
+        misses = 0
+        cycles = 0
+        executed = 0
+        status = Status.LIMIT
+        trap_reason = ""
+        pc = state.pc
+        # a resumed run can start with the exit register already written;
+        # the oracle still executes one instruction before noticing
+        force_exit = mmio.exit_code is not None
+        while executed < max_instructions:
+            step = get_step(pc)
+            if step is None:
+                try:
+                    instr = self._fetch_decode(pc)
+                except (DecodingError, SimulationError) as exc:
+                    status, trap_reason = Status.TRAP, str(exc)
+                    break
+                step = predecode(instr, timing)
+                predecoded[pc] = step
+            run_h, cyc_seq, cyc_taken, is_store, instr = step
+            line_number = pc >> line_shift
+            index = line_number & lines_mask
+            tag = line_number >> lines_shift
+            if tags[index] == tag:
+                hits += 1
+                fetch_cycles = 1
+            else:
+                tags[index] = tag
+                misses += 1
+                fetch_cycles = 1 + miss_penalty
+            try:
+                target = run_h(regs, memory, pc)
+            except SimulationError as exc:
+                status, trap_reason = Status.TRAP, str(exc)
+                break
+            executed += 1
+            if target is None:
+                cycles += fetch_cycles if fetch_cycles > cyc_seq else cyc_seq
+                if on_commit is not None:
+                    on_commit(pc, instr)
+                if (is_store or force_exit) and mmio.exit_code is not None:
+                    status = Status.EXIT
+                    break
+                pc += 4
+                state.pc = pc
+            else:
+                cycles += fetch_cycles if fetch_cycles > cyc_taken else cyc_taken
+                if on_commit is not None:
+                    on_commit(pc, instr)
+                if target == -1:  # engine.HALT
+                    status = Status.HALT
+                    break
+                if (is_store or force_exit) and mmio.exit_code is not None:
+                    status = Status.EXIT
+                    break
+                pc = target
+                state.pc = pc
+        icache.stats.hits += hits
+        icache.stats.misses += misses
+        return ExecutionResult(status=status, cycles=cycles,
+                               instructions=executed,
+                               exit_code=mmio.exit_code, mmio=mmio,
+                               trap_reason=trap_reason,
+                               icache=icache.stats)
+
 
 def run_executable(executable: Executable,
                    timing: TimingParams = DEFAULT_TIMING,
-                   max_instructions: int = 50_000_000) -> ExecutionResult:
+                   max_instructions: int = 50_000_000,
+                   engine: Optional[str] = None) -> ExecutionResult:
     """Convenience one-shot runner."""
-    return VanillaMachine(executable, timing).run(max_instructions)
+    return VanillaMachine(executable, timing, engine=engine).run(
+        max_instructions)

@@ -1,0 +1,282 @@
+"""Lockstep differential suite: predecoded engine vs the reference oracle.
+
+The predecoded engine (:mod:`repro.sim.engine`) must be observationally
+indistinguishable from ``core.execute`` stepped by the reference loops —
+not just in final results but at *every committed instruction*.  These
+tests pin that contract:
+
+* lockstep traces via the ``on_commit`` hook — registers, PC and data
+  memory after every commit — for every workload on both machines;
+* bit-identical ``ExecutionResult`` fields (status, cycles, instructions,
+  exit code, I-cache stats) under both overhead-sweep timing configs, so
+  Table 1 / Fig. 2 reproductions cannot silently drift with the engine;
+* Hypothesis property tests over random valid instruction sequences
+  (word-level, reusing the decode-fuzz strategy idea) and random
+  structured assembly programs (reusing ``test_equivalence`` strategies);
+* cache-invalidation parity for self-modifying code, the ISR baselines'
+  overridden fetch path, and the fault campaign's ``engine`` plumbing.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeviceKeys
+from repro.isa import assemble, parse
+from repro.isa.encoding import encode, is_valid_word
+from repro.isa.program import CODE_BASE, Executable
+from repro.sim import (DEFAULT_TIMING, LEON3_MINIMAL_TIMING, SofiaMachine,
+                       VanillaMachine, run_executable, run_image)
+from repro.sim.engine import ENGINES, resolve_engine
+from repro.transform import transform
+from repro.workloads import make_workload, workload_names
+
+from test_equivalence import assembly_programs
+
+KEYS = DeviceKeys.from_seed(1)
+NONCE = 0x2016
+
+_STORE_SIZES = {"sw": 4, "sh": 2, "sb": 1}
+
+#: per-module build cache: workload name -> (workload, exe, image)
+_BUILDS = {}
+
+
+def build(name):
+    if name not in _BUILDS:
+        workload = make_workload(name, "tiny")
+        program = workload.compile().program
+        _BUILDS[name] = (workload, assemble(program),
+                         transform(program, KEYS, nonce=NONCE))
+    return _BUILDS[name]
+
+
+def result_fields(result):
+    """Everything the acceptance criteria require to be bit-identical."""
+    return (result.status, result.cycles, result.instructions,
+            result.exit_code, result.icache.hits, result.icache.misses,
+            result.blocks_executed, result.mac_fetch_cycles,
+            result.output_ints, result.trap_reason,
+            str(result.violation) if result.violation else None)
+
+
+def lockstep_trace(machine, max_instructions=2_000_000):
+    """Run a machine recording (pc, registers, store-window) per commit.
+
+    Data memory can only change through stores, so recording the written
+    window after each store commit (plus the full-RAM comparison the
+    caller performs at the end) is equivalent to comparing all of data
+    memory after every committed instruction.
+    """
+    events = []
+    regs = machine.state.regs
+    ram = machine.memory.ram
+    data_base = machine.memory.data_base
+
+    def hook(pc, instr):
+        size = _STORE_SIZES.get(instr.mnemonic)
+        window = None
+        if size is not None:
+            offset = ((regs[instr.rs1] + instr.imm) & 0xFFFFFFFF) - data_base
+            if 0 <= offset <= len(ram) - size:
+                window = (offset, bytes(ram[offset:offset + size]))
+        events.append((pc, tuple(regs), window))
+
+    machine.on_commit = hook
+    try:
+        result = machine.run(max_instructions=max_instructions)
+    finally:
+        machine.on_commit = None
+    return result, events
+
+
+def assert_lockstep(make_machine):
+    """Build a machine per engine and compare their lockstep traces."""
+    ref = make_machine("reference")
+    pre = make_machine("predecoded")
+    ref_result, ref_events = lockstep_trace(ref)
+    pre_result, pre_events = lockstep_trace(pre)
+    for i, (a, b) in enumerate(zip(ref_events, pre_events)):
+        assert a == b, (f"first divergence at commit {i}: "
+                        f"reference={a!r} predecoded={b!r}")
+    assert len(ref_events) == len(pre_events)
+    assert ref.memory.ram == pre.memory.ram
+    assert ref.state.regs == pre.state.regs
+    assert ref.state.pc == pre.state.pc
+    assert result_fields(ref_result) == result_fields(pre_result)
+
+
+class TestLockstepWorkloads:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_vanilla_lockstep(self, name):
+        _, exe, _ = build(name)
+        assert_lockstep(lambda engine: VanillaMachine(exe, engine=engine))
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_sofia_lockstep(self, name):
+        workload, _, image = build(name)
+        assert_lockstep(
+            lambda engine: SofiaMachine(image, KEYS, engine=engine))
+        # the golden output is produced under the predecoded engine too
+        result = SofiaMachine(image, KEYS).run()
+        assert result.output_ints == workload.expected_output
+
+
+class TestCycleAccountingParity:
+    """Overhead-sweep configs must yield bit-identical cycles and stats."""
+
+    @pytest.mark.parametrize("name", workload_names())
+    @pytest.mark.parametrize("timing", [DEFAULT_TIMING,
+                                        LEON3_MINIMAL_TIMING],
+                             ids=["default", "leon3-minimal"])
+    def test_both_machines(self, name, timing):
+        _, exe, image = build(name)
+        vr = VanillaMachine(exe, timing, engine="reference").run()
+        vp = VanillaMachine(exe, timing, engine="predecoded").run()
+        assert result_fields(vr) == result_fields(vp)
+        sr = SofiaMachine(image, KEYS, timing, engine="reference").run()
+        sp = SofiaMachine(image, KEYS, timing, engine="predecoded").run()
+        assert result_fields(sr) == result_fields(sp)
+
+
+class TestEngineSelection:
+    def test_default_is_predecoded(self):
+        _, exe, image = build("sort")
+        assert VanillaMachine(exe).engine == "predecoded"
+        assert SofiaMachine(image, KEYS).engine == "predecoded"
+
+    def test_reference_selectable(self):
+        _, exe, image = build("sort")
+        assert VanillaMachine(exe, engine="reference").engine == "reference"
+        assert run_executable(exe, engine="reference").ok
+        assert run_image(image, KEYS, engine="reference").ok
+
+    def test_unknown_engine_rejected(self):
+        _, exe, _ = build("sort")
+        with pytest.raises(ValueError):
+            VanillaMachine(exe, engine="jit")
+        with pytest.raises(ValueError):
+            resolve_engine("turbo")
+        assert resolve_engine(None) == "predecoded"
+        assert set(ENGINES) == {"predecoded", "reference"}
+
+    def test_facade_engine_kwarg(self):
+        from repro import core
+        prog = core.build_assembly("main: li a0, 2\n add a0, a0, a0\n halt\n")
+        exe = core.link_vanilla(prog)
+        ref = core.run_vanilla(exe, engine="reference")
+        pre = core.run_vanilla(exe, engine="predecoded")
+        assert result_fields(ref) == result_fields(pre)
+
+
+# --- Hypothesis property tests -------------------------------------------
+
+def _word_program(words):
+    """Wrap raw instruction words into an Executable at CODE_BASE."""
+    return Executable(code_words=list(words), data=b"", symbols={},
+                      entry=CODE_BASE)
+
+
+class TestRandomWordDifferential:
+    """Random *valid* instruction words: both engines agree on everything,
+    including traps, infinite loops (LIMIT) and wild control flow."""
+
+    @given(raw=st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                        min_size=1, max_size=24))
+    @settings(max_examples=60, deadline=None)
+    def test_word_sequences(self, raw):
+        words = [w for w in raw if is_valid_word(w)]
+        words.append(encode(parse("main: halt\n").instructions[0]))
+        exe = _word_program(words)
+        ref = VanillaMachine(exe, engine="reference")
+        pre = VanillaMachine(exe, engine="predecoded")
+        ref_result = ref.run(max_instructions=3_000)
+        pre_result = pre.run(max_instructions=3_000)
+        assert result_fields(ref_result) == result_fields(pre_result)
+        assert ref.state.regs == pre.state.regs
+        assert ref.state.pc == pre.state.pc
+        assert ref.memory.ram == pre.memory.ram
+
+
+class TestRandomProgramDifferential:
+    """Structured random programs (test_equivalence strategies): both
+    engines agree on both machines, trap behaviour and cycles included."""
+
+    @given(source=assembly_programs())
+    @settings(max_examples=20, deadline=None)
+    def test_vanilla_engines_agree(self, source):
+        program = parse(source)
+        exe = assemble(program)
+        ref = VanillaMachine(exe, engine="reference")
+        pre = VanillaMachine(exe, engine="predecoded")
+        assert (result_fields(ref.run(200_000))
+                == result_fields(pre.run(200_000)))
+        assert ref.state.regs == pre.state.regs
+        assert ref.memory.ram == pre.memory.ram
+
+    @given(source=assembly_programs(), nonce=st.integers(0, 0xFFFF))
+    @settings(max_examples=10, deadline=None)
+    def test_sofia_engines_agree(self, source, nonce):
+        program = parse(source)
+        image = transform(program, KEYS, nonce=nonce)
+        ref = SofiaMachine(image, KEYS, engine="reference")
+        pre = SofiaMachine(image, KEYS, engine="predecoded")
+        assert (result_fields(ref.run(400_000))
+                == result_fields(pre.run(400_000)))
+        assert ref.state.regs == pre.state.regs
+        assert ref.prev_pc == pre.prev_pc
+
+
+# --- cache-invalidation and plumbing parity -------------------------------
+
+SELF_MODIFYING = """
+main:
+    li a0, 0
+    li t3, 0
+loop:
+patch:
+    nop
+    bne t3, zero, done
+    li t3, 1
+    la t0, src
+    lw t1, 0(t0)
+    la t2, patch
+    sw t1, 0(t2)
+    jmp loop
+done:
+    li a1, 0xFFFF0004
+    sw a0, 0(a1)
+    halt
+src:
+    addi a0, a0, 7
+"""
+
+
+class TestInvalidationParity:
+    def test_self_modifying_code(self):
+        """A stale predecoded handler would replay the pre-patch nop."""
+        exe = assemble(parse(SELF_MODIFYING))
+        assert_lockstep(lambda engine: VanillaMachine(exe, engine=engine))
+        result = VanillaMachine(exe).run()
+        assert result.output_ints == [7]
+
+    def test_isr_baselines_both_engines(self):
+        from repro.baselines import EcbIsrMachine, XorIsrMachine
+        _, exe, _ = build("sort")
+        assert_lockstep(
+            lambda engine: XorIsrMachine(exe, 0xA5A5F00D, engine=engine))
+        assert_lockstep(
+            lambda engine: EcbIsrMachine(exe, 0xBEEF2016CAFE, engine=engine))
+
+    def test_fault_campaign_engine_parity(self):
+        from repro.faults import run_campaign
+        workload, _, _ = build("sort")
+        program = workload.compile().program
+
+        def classify(engine):
+            results, summary = run_campaign(
+                program, KEYS, workload.expected_output, per_model=2,
+                seed=99, max_instructions=100_000, engine=engine)
+            return [(r.model, r.outcome, r.status) for r in results]
+
+        assert classify("reference") == classify("predecoded")

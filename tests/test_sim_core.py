@@ -110,6 +110,61 @@ class TestAlu:
         assert to_signed(state.read(7)) == -1
 
 
+class TestShiftImmediateMasking:
+    """``slli``/``srli``/``srai`` mask the shift amount to 0..31 exactly
+    like the register forms ``sll``/``srl``/``sra`` do.
+
+    The decoder rejects encoded shift amounts >= 32, so this only shows
+    with hand-constructed instructions (fuzzers, fault models) — but the
+    two forms must agree there too, and the predecoded engine compiles
+    from the same contract.
+    """
+
+    VALUE = 0x80000001
+
+    @pytest.mark.parametrize("amount", [31, 32, 63])
+    @pytest.mark.parametrize("imm_name,reg_name",
+                             [("slli", "sll"), ("srli", "srl"),
+                              ("srai", "sra")])
+    def test_immediate_matches_register_form(self, machine_bits,
+                                             imm_name, reg_name, amount):
+        state, mem = machine_bits
+        state.write(5, self.VALUE)
+        state.write(6, amount)
+        run_one(state, mem, Instruction(reg_name, rd=7, rs1=5, rs2=6))
+        run_one(state, mem, Instruction(imm_name, rd=8, rs1=5, imm=amount))
+        assert state.read(8) == state.read(7), (imm_name, amount)
+
+    @pytest.mark.parametrize("amount", [31, 32, 63])
+    @pytest.mark.parametrize("name", ["slli", "srli", "srai"])
+    def test_predecoded_handler_agrees(self, machine_bits, name, amount):
+        from repro.sim.engine import compile_handler
+        state, mem = machine_bits
+        state.write(5, self.VALUE)
+        instr = Instruction(name, rd=7, rs1=5, imm=amount)
+        run_one(state, mem, instr)
+        oracle = state.read(7)
+        state.write(7, 0)
+        handler = compile_handler(instr)
+        assert handler(state.regs, mem, 0) is None
+        assert state.read(7) == oracle, (name, amount)
+
+    def test_boundary_31_exact_values(self, machine_bits):
+        state, mem = machine_bits
+        state.write(5, self.VALUE)
+        run_one(state, mem, Instruction("slli", rd=7, rs1=5, imm=31))
+        assert state.read(7) == 0x80000000
+        run_one(state, mem, Instruction("srli", rd=7, rs1=5, imm=31))
+        assert state.read(7) == 1
+        run_one(state, mem, Instruction("srai", rd=7, rs1=5, imm=31))
+        assert state.read(7) == 0xFFFFFFFF
+        # 32 and 63 wrap to 0 and 31
+        run_one(state, mem, Instruction("slli", rd=7, rs1=5, imm=32))
+        assert state.read(7) == self.VALUE
+        run_one(state, mem, Instruction("srai", rd=7, rs1=5, imm=63))
+        assert state.read(7) == 0xFFFFFFFF
+
+
 class TestMemoryOps:
     def test_store_load_roundtrip(self, machine_bits):
         state, mem = machine_bits
