@@ -64,7 +64,14 @@ def build_cfg(program: AsmProgram, check_tail_calls: bool = True) -> ControlFlow
     n = len(instructions)
     if n == 0:
         raise CFGError("cannot build a CFG for an empty program")
-    cfg = ControlFlowGraph(num_nodes=n, entry=program.labels[program.entry])
+    entry_index = program.labels[program.entry]
+    if entry_index >= n:
+        # same fuzzer-found class as trailing CTI targets below: an
+        # entry label bound past the last instruction names no code
+        raise CFGError(
+            f"entry label {program.entry!r} points past the end of "
+            f"the program")
+    cfg = ControlFlowGraph(num_nodes=n, entry=entry_index)
     cfg.add_edge(RESET_NODE, cfg.entry, "reset")
 
     ranges = function_ranges(program)
@@ -77,6 +84,14 @@ def build_cfg(program: AsmProgram, check_tail_calls: bool = True) -> ControlFlow
             raise CFGError(
                 f"CTI at index targets unknown label {symbol!r} "
                 f"(line {instr.line})")
+        if index >= n:
+            # a trailing label parses and assembles (the vanilla core
+            # would fetch-fault there), but it names no instruction, so
+            # no precise CFG exists — fuzzer-found totality bug: this
+            # used to escape as a raw ValueError from add_edge
+            raise CFGError(
+                f"CTI targets label {symbol!r} past the end of the "
+                f"program (line {instr.line})")
         return index
 
     for i, instr in enumerate(instructions):

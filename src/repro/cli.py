@@ -10,6 +10,7 @@ The toolchain workflow as a developer would drive it:
 ``disasm``          disassemble a program (vanilla address space)
 ``trace``           per-instruction execution trace (vanilla core)
 ``attack``          run the attack campaign, print the E8 matrix
+``fuzz``            coverage-guided differential fuzzing campaign (E15)
 ``experiments``     regenerate paper tables/figures (E1, E2, ...)
 ``report``          write the full E1–E11 evaluation report
 ==================  ====================================================
@@ -164,6 +165,21 @@ def cmd_attack(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz import run_fuzz
+    parallel, jobs = _parse_jobs(args.jobs)
+    report = run_fuzz(seeds=args.seeds, seed=args.seed, batch=args.batch,
+                      parallel=parallel, jobs=jobs,
+                      corpus_dir=args.corpus,
+                      time_budget=args.time_budget,
+                      include_baselines=args.baselines)
+    print(report.render())
+    if args.corpus:
+        print(f"# wrote corpus + coverage + report under {args.corpus}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 _EXPERIMENTS = {
     "table1": lambda parallel, jobs: experiment_table1().render(),
     "adpcm": lambda parallel, jobs: experiment_adpcm("small").render(),
@@ -262,6 +278,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--export", metavar="FILE",
                    help="write the campaign results as JSON")
     p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("fuzz",
+                       help="coverage-guided differential fuzzing (E15)")
+    p.add_argument("--seeds", type=int, default=500,
+                   help="number of specimens to run (default 500)")
+    p.add_argument("--seed", type=int, default=0x5EED,
+                   help="campaign seed (determines every specimen)")
+    p.add_argument("--time-budget", type=float, default=None, metavar="SEC",
+                   help="stop after SEC seconds (checked between batches; "
+                        "makes the specimen count wall-clock dependent)")
+    p.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
+                   help="worker processes (0 = one per CPU, 1 = serial)")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="persist corpus/coverage/triage under DIR "
+                        "(an existing corpus there is extended)")
+    p.add_argument("--batch", type=int, default=50,
+                   help="specimens per scheduling round (default 50)")
+    p.add_argument("--baselines", action="store_true",
+                   help="also lockstep the XOR/ECB ISR baseline machines")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("experiments", help="regenerate paper artifacts")
     p.add_argument("names", nargs="*",

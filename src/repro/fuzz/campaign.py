@@ -1,0 +1,207 @@
+"""Coverage-guided fuzzing campaigns over the parallel runner.
+
+A campaign is a sequence of fixed-size *batches*.  Each batch is an
+ordered list of genomes — fresh random ones plus mutations of corpus
+entries that exhibit the rarest coverage keys — dispatched through
+:func:`repro.runner.pool.run_tasks` exactly like the fault and attack
+campaigns: workers are pure (genome -> :class:`OracleReport`), shared
+context (device keys) travels once through the pool initializer, and
+results return in submission order.  All steering state — the coverage
+map, the corpus, failure collection — lives in the parent and is
+updated in task order, so a campaign is **deterministic in every knob
+except wall-clock**: same ``seed`` and ``seeds`` produce byte-identical
+corpus directories and coverage summaries at any ``--jobs`` value.
+``time_budget`` (seconds) optionally caps a campaign between batches;
+only then does wall-clock influence how many specimens run.
+
+Failures are deduplicated by content, minimized
+(:mod:`repro.fuzz.minimize`), and triaged to ``<corpus>/triage/``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from ..crypto.keys import DeviceKeys
+from ..runner import run_tasks, task_rng, write_campaign
+from ..runner.cache import DEFAULT_KEY_SEED
+from .corpus import Corpus, specimen_sha
+from .coverage import CoverageMap
+from .generators import SHAPES, Genome, generate, mutate, random_genome
+from .minimize import TriageRecord, triage, write_triage
+from .oracle import OracleReport, run_oracle
+
+# per-process context installed by the pool initializer
+_WORKER_CTX: Optional[tuple] = None
+
+
+def _init_fuzz_worker(keys: DeviceKeys, include_baselines: bool) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = (keys, include_baselines)
+
+
+def _fuzz_task(genome: Genome) -> OracleReport:
+    keys, include_baselines = _WORKER_CTX
+    return run_oracle(generate(genome), keys,
+                      include_baselines=include_baselines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one campaign: steering state plus the findings."""
+
+    seed: int
+    specimens: int = 0
+    instructions: int = 0
+    batches: int = 0
+    elapsed_seconds: float = 0.0
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    corpus: Corpus = field(default_factory=Corpus)
+    failures: List[TriageRecord] = field(default_factory=list)
+
+    @property
+    def divergences(self) -> int:
+        return sum(len(record.divergences) for record in self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            "Fuzzing campaign (E15)",
+            f"  specimens   {self.specimens}  "
+            f"({self.batches} batches, seed {self.seed})",
+            f"  simulated   {self.instructions:,d} instructions",
+            f"  corpus      {len(self.corpus)} specimens kept",
+            f"  {self.coverage.render()}",
+            f"  divergences {self.divergences}"
+            + ("" if self.ok else f" in {len(self.failures)} specimens"),
+        ]
+        for record in self.failures:
+            for divergence in record.divergences:
+                lines.append(f"    {record.sha}: "
+                             f"[{divergence['axis']}/"
+                             f"{divergence['observable']}] "
+                             f"{divergence['detail']}")
+        return "\n".join(lines)
+
+
+def _plan_batch(seed: int, round_index: int, batch: int,
+                coverage: CoverageMap, corpus: Corpus) -> List[Genome]:
+    """The genomes of one batch (pure function of the steering state).
+
+    Round 0 sweeps every shape round-robin to open coverage broadly;
+    later rounds alternate fresh genomes with mutations of the corpus
+    entries that contributed the rarest coverage keys — the classic
+    greybox schedule, kept fully deterministic by deriving every draw
+    from the campaign seed and the (ordered) steering state.
+    """
+    genomes = []
+    rare_keys = coverage.rarest(batch) if len(corpus) else []
+    for index in range(batch):
+        rng = task_rng(seed, "fuzz-plan", round_index, index)
+        if round_index == 0 or not len(corpus) or index % 2 == 0:
+            shape = SHAPES[index % len(SHAPES)] if round_index == 0 else None
+            genomes.append(random_genome(rng, shape=shape))
+            continue
+        parent = None
+        if rare_keys:
+            key = rare_keys[index % len(rare_keys)]
+            candidates = corpus.entries_with_key(key)
+            if candidates:
+                parent = candidates[rng.randrange(len(candidates))]
+        if parent is None:
+            shas = corpus.shas()
+            parent = corpus.entries()[rng.randrange(len(shas))]
+        genomes.append(mutate(parent.genome, rng))
+    return genomes
+
+
+def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
+             batch: int = 50,
+             parallel: bool = False, jobs: Optional[int] = None,
+             corpus_dir=None,
+             time_budget: Optional[float] = None,
+             include_baselines: bool = False,
+             minimize_failures: bool = True,
+             max_failures: int = 8,
+             key_seed: int = DEFAULT_KEY_SEED) -> FuzzReport:
+    """Run a campaign of ``seeds`` specimens; returns the full report.
+
+    ``corpus_dir`` persists the corpus, ``coverage.json``,
+    ``report.json`` and any triage artifacts; an existing corpus there
+    is loaded first, so campaigns accumulate across invocations.
+    ``max_failures`` caps how many *distinct* failing specimens are
+    minimized and triaged (minimization re-runs the oracle many times).
+    """
+    started = time.perf_counter()
+    keys = DeviceKeys.from_seed(key_seed)
+    report = FuzzReport(seed=seed)
+    if corpus_dir is not None:
+        report.corpus = Corpus.load(corpus_dir)
+        coverage_path = Path(corpus_dir) / "coverage.json"
+        if coverage_path.is_file():
+            report.coverage = CoverageMap.load(coverage_path)
+
+    failing_reports: List[OracleReport] = []
+    seen_failures = set()
+    round_index = 0
+    while report.specimens < seeds:
+        if time_budget is not None and \
+                time.perf_counter() - started >= time_budget:
+            break
+        size = min(batch, seeds - report.specimens)
+        genomes = _plan_batch(seed, round_index, size,
+                              report.coverage, report.corpus)
+        results = run_tasks(_fuzz_task, genomes,
+                            jobs=jobs, parallel=parallel,
+                            initializer=_init_fuzz_worker,
+                            initargs=(keys, include_baselines))
+        for oracle_report in results:
+            report.specimens += 1
+            report.instructions += oracle_report.instructions
+            new_keys = report.coverage.observe(oracle_report.features)
+            specimen = oracle_report.specimen
+            if new_keys:
+                report.corpus.add(specimen, new_keys)
+            if oracle_report.divergences:
+                sha = specimen_sha(specimen.language, specimen.source)
+                if sha not in seen_failures:
+                    seen_failures.add(sha)
+                    failing_reports.append(oracle_report)
+        report.batches = round_index = round_index + 1
+
+    for oracle_report in failing_reports[:max_failures]:
+        report.failures.append(
+            triage(oracle_report, keys, do_minimize=minimize_failures))
+    if len(failing_reports) > max_failures:
+        for oracle_report in failing_reports[max_failures:]:
+            report.failures.append(
+                triage(oracle_report, keys, do_minimize=False))
+
+    report.elapsed_seconds = time.perf_counter() - started
+    if corpus_dir is not None:
+        root = report.corpus.save(corpus_dir)
+        report.coverage.save(root / "coverage.json")
+        write_campaign(root / "report.json", _campaign_record(report))
+        for record in report.failures:
+            write_triage(record, root / "triage")
+    return report
+
+
+def _campaign_record(report: FuzzReport) -> dict:
+    """The deterministic JSON digest of a campaign (no wall-clock)."""
+    return {
+        "campaign": "fuzz",
+        "parameters": {"seed": report.seed,
+                       "specimens": report.specimens,
+                       "batches": report.batches},
+        "corpus_size": len(report.corpus),
+        "coverage": report.coverage.summary(),
+        "failures": [record.sha for record in report.failures],
+        "divergences": report.divergences,
+    }

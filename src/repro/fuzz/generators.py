@@ -1,0 +1,367 @@
+"""Structured specimen generators: random-but-valid SRISC programs.
+
+Every specimen is grown from a :class:`Genome` — a tiny, picklable
+parameter record — through a deterministic generator keyed by
+:func:`repro.runner.seeding.task_rng`.  The same genome always produces
+the same source text, which is what makes fuzzing campaigns replayable,
+corpus entries self-describing, and mutation a pure genome edit instead
+of a fragile text patch.
+
+Validity is *by construction*, not by filtering: each shape emits
+programs that parse, assemble, survive the SOFIA transformation
+(exclusivity rules included) and terminate within a small step budget —
+loops count down fixed trip counts, branches that can retreat are
+bounded, call graphs are acyclic, and every indirect call declares a
+``.targets`` set exclusive to its site.  The generator-validity tests in
+``tests/test_fuzz.py`` pin exactly this contract.
+
+Shapes (ISSUE 3) and the transform/simulator surfaces they stress:
+
+``straight``  straight-line ALU/memory blocks — block chunking, padding
+``diamond``   if/else joins — two-predecessor multiplexor blocks
+``loop``      bounded backward loops — the hot decrypt-memo path
+``calltree``  acyclic call trees with shared leaves — call fan-in up to
+              the multiplexor-tree limits (paper Fig. 9)
+``indirect``  ``.targets``-annotated ``jalr`` sites — exclusivity rules,
+              indirect-edge sealing, return-landing pads
+``minic``     a mini-C source generator feeding :mod:`repro.cc` — the
+              whole compiler front-end joins the fuzzed surface
+
+SRISC has no interrupt machinery, so the paper's interrupt-enabled
+variants have no direct analogue here; the closest standing variants —
+the ISR baseline machines — are exercised by the oracle's optional
+baseline axis instead (see DESIGN.md, "Fuzzing subsystem").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from ..runner.seeding import task_rng
+
+#: every generator shape, in canonical order (round-robin scans and
+#: deterministic corpus scheduling both rely on this ordering)
+SHAPES: Tuple[str, ...] = ("straight", "diamond", "loop", "calltree",
+                           "indirect", "minic")
+
+#: transform geometries worth fuzzing: the paper's 8-word blocks (store
+#: slots forbidden) and the 6-word ablation point (no restriction)
+BLOCK_WORDS: Tuple[int, ...] = (8, 6)
+
+
+@dataclass(frozen=True)
+class Genome:
+    """Everything that determines one specimen, in mutation-sized knobs."""
+
+    shape: str
+    seed: int
+    #: 1..3 — scales segment counts, body lengths, loop nests, fan-in
+    size: int = 2
+    #: transform geometry for the protected build
+    block_words: int = 8
+    #: per-binary nonce for the protected build
+    nonce: int = 0x2016
+
+    def rng(self) -> random.Random:
+        """The specimen's private deterministic stream."""
+        return task_rng(self.seed, "fuzz", self.shape, self.size)
+
+
+@dataclass(frozen=True)
+class Specimen:
+    """One generated program, ready for the differential oracle."""
+
+    genome: Genome
+    language: str       # "asm" | "c"
+    source: str
+
+
+def random_genome(rng: random.Random, shape: str = None) -> Genome:
+    """Draw a fresh genome (shape round-robin unless pinned)."""
+    return Genome(
+        shape=shape if shape is not None else rng.choice(SHAPES),
+        seed=rng.randrange(1 << 48),
+        size=rng.randint(1, 3),
+        block_words=rng.choice(BLOCK_WORDS),
+        nonce=rng.randrange(1, 0x10000))
+
+
+def mutate(genome: Genome, rng: random.Random) -> Genome:
+    """Perturb one knob of a genome (validity-preserving by design)."""
+    choice = rng.randrange(5)
+    if choice == 0:
+        return replace(genome, seed=rng.randrange(1 << 48))
+    if choice == 1:
+        return replace(genome, size=1 + (genome.size + rng.randint(0, 1)) % 3)
+    if choice == 2:
+        other = [bw for bw in BLOCK_WORDS if bw != genome.block_words]
+        return replace(genome, block_words=rng.choice(other))
+    if choice == 3:
+        return replace(genome, nonce=rng.randrange(1, 0x10000))
+    return replace(genome, shape=rng.choice(SHAPES),
+                   seed=rng.randrange(1 << 48))
+
+
+# -- assembly building blocks ------------------------------------------------
+
+#: ALU/memory line templates; {r} slots are filled from _WORK_REGS and
+#: {imm} from small signed immediates.  Stack traffic stays inside an
+#: aligned 32-byte scratch window below sp; div/rem are total on SRISC
+#: (div-by-zero is architecturally defined), so unguarded operands are
+#: fair game.
+_WORK_REGS = ("t0", "t1", "t2", "t3", "s0", "s1")
+
+_ALU_TEMPLATES = (
+    "add {a}, {b}, {c}", "sub {a}, {b}, {c}", "and {a}, {b}, {c}",
+    "or {a}, {b}, {c}", "xor {a}, {b}, {c}", "sll {a}, {b}, {c}",
+    "srl {a}, {b}, {c}", "sra {a}, {b}, {c}", "mul {a}, {b}, {c}",
+    "div {a}, {b}, {c}", "rem {a}, {b}, {c}", "slt {a}, {b}, {c}",
+    "sltu {a}, {b}, {c}",
+    "addi {a}, {b}, {imm}", "andi {a}, {b}, {uimm}",
+    "ori {a}, {b}, {uimm}", "xori {a}, {b}, {uimm}",
+    "slli {a}, {b}, {sh}", "srli {a}, {b}, {sh}", "srai {a}, {b}, {sh}",
+    "slti {a}, {b}, {imm}", "sltiu {a}, {b}, {uimm}",
+    "lui {a}, {uimm}",
+)
+
+_MEM_TEMPLATES = (
+    ("sw {a}, -{w4}(sp)", "lw {b}, -{w4}(sp)"),
+    ("sh {a}, -{w2}(sp)", "lhu {b}, -{w2}(sp)"),
+    ("sh {a}, -{w2}(sp)", "lh {b}, -{w2}(sp)"),
+    ("sb {a}, -{w1}(sp)", "lbu {b}, -{w1}(sp)"),
+    ("sb {a}, -{w1}(sp)", "lb {b}, -{w1}(sp)"),
+)
+
+_BRANCHES = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+
+
+def _alu_line(rng: random.Random) -> str:
+    template = rng.choice(_ALU_TEMPLATES)
+    return template.format(
+        a=rng.choice(_WORK_REGS), b=rng.choice(_WORK_REGS),
+        c=rng.choice(_WORK_REGS),
+        imm=rng.randint(-128, 127), uimm=rng.randint(0, 255),
+        sh=rng.randint(0, 31))
+
+
+def _mem_lines(rng: random.Random) -> List[str]:
+    store, load = rng.choice(_MEM_TEMPLATES)
+    slots = {"w4": 4 * rng.randint(1, 8), "w2": 2 * rng.randint(1, 16),
+             "w1": rng.randint(1, 32),
+             "a": rng.choice(_WORK_REGS), "b": rng.choice(_WORK_REGS)}
+    return [store.format(**slots), load.format(**slots)]
+
+
+def _body(rng: random.Random, size: int) -> List[str]:
+    lines = []
+    for _ in range(rng.randint(1, 2 + 2 * size)):
+        if rng.random() < 0.25:
+            lines.extend(_mem_lines(rng))
+        else:
+            lines.append(_alu_line(rng))
+    return lines
+
+
+def _seed_regs(rng: random.Random) -> List[str]:
+    return [f"    li {reg}, {rng.randint(-0x8000, 0x7FFF)}"
+            for reg in _WORK_REGS]
+
+
+#: epilogue printing the live register file to the console, so the
+#: cross-core oracle observes every work register, then halting
+_EPILOGUE = ["    li a1, 0xFFFF0004"] + \
+    [f"    sw {reg}, 0(a1)" for reg in _WORK_REGS] + ["    halt"]
+
+
+def _asm(lines: List[str]) -> str:
+    return "\n".join(lines) + "\n"
+
+
+# -- shape generators --------------------------------------------------------
+
+def _gen_straight(rng: random.Random, size: int) -> str:
+    lines = ["main:"] + _seed_regs(rng)
+    for seg in range(rng.randint(1, 2 * size)):
+        lines.append(f"seg{seg}:")
+        lines.extend(f"    {line}" for line in _body(rng, size))
+    return _asm(lines + _EPILOGUE)
+
+
+def _gen_diamond(rng: random.Random, size: int) -> str:
+    """Forward if/else diamonds: every join has two CFG predecessors."""
+    lines = ["main:"] + _seed_regs(rng)
+    for d in range(rng.randint(1, size + 1)):
+        branch = rng.choice(_BRANCHES)
+        a, b = rng.choice(_WORK_REGS), rng.choice(_WORK_REGS)
+        lines.append(f"    {branch} {a}, {b}, else{d}")
+        lines.extend(f"    {line}" for line in _body(rng, size))
+        lines.append(f"    jmp join{d}")
+        lines.append(f"else{d}:")
+        lines.extend(f"    {line}" for line in _body(rng, size))
+        lines.append(f"join{d}:")
+        lines.append(f"    {_alu_line(rng)}")
+    return _asm(lines + _EPILOGUE)
+
+
+def _gen_loop(rng: random.Random, size: int) -> str:
+    """Sequential and nested bounded counting loops (backward branches)."""
+    lines = ["main:"] + _seed_regs(rng)
+    for loop_id in range(rng.randint(1, size)):
+        nested = rng.random() < 0.4
+        lines.append("    li a2, 0")
+        lines.append(f"    li a3, {rng.randint(1, 3 + 2 * size)}")
+        lines.append(f"outer{loop_id}:")
+        lines.extend(f"    {line}" for line in _body(rng, size))
+        if nested:
+            lines.append("    li a4, 0")
+            lines.append(f"    li a5, {rng.randint(1, 4)}")
+            lines.append(f"inner{loop_id}:")
+            lines.extend(f"    {line}" for line in _body(rng, 1))
+            lines.append("    addi a4, a4, 1")
+            lines.append(f"    blt a4, a5, inner{loop_id}")
+        lines.append("    addi a2, a2, 1")
+        lines.append(f"    blt a2, a3, outer{loop_id}")
+    return _asm(lines + _EPILOGUE)
+
+
+def _gen_calltree(rng: random.Random, size: int) -> str:
+    """Acyclic call tree whose shared leaf has fan-in up to 8 callers.
+
+    Call fan-in above two predecessors forces the layout engine to build
+    binary multiplexor trees (paper Fig. 9); eight callers exercise a
+    three-level tree, the deepest shape the default experiments reach.
+    """
+    fan_in = rng.randint(2, 2 + 2 * size)   # up to 8 callers of the leaf
+    depth = rng.randint(1, 2)
+    lines = ["main:"] + _seed_regs(rng)
+    for _ in range(fan_in):
+        lines.append("    mv a0, t0")
+        lines.append(f"    call mid0" if depth == 2 else "    call leaf")
+        lines.append("    mv t0, a0")
+        lines.append(f"    {_alu_line(rng)}")
+    body = [f"    {line}" for line in _body(rng, 1)]
+    lines += _EPILOGUE
+    if depth == 2:
+        lines += ["mid0:", "    addi sp, sp, -4", "    sw ra, 0(sp)"]
+        lines += body
+        lines += ["    call leaf", "    lw ra, 0(sp)",
+                  "    addi sp, sp, 4", "    ret"]
+    lines += ["leaf:", f"    addi a0, a0, {rng.randint(-64, 64)}",
+              f"    xori a0, a0, {rng.randint(0, 255)}", "    ret"]
+    return _asm(lines)
+
+
+def _gen_indirect(rng: random.Random, size: int) -> str:
+    """``.targets``-annotated ``jalr`` sites with exclusive target sets.
+
+    Each site owns a disjoint set of 1-3 candidate functions (the
+    transformer's exclusivity restriction) and picks one at genome time;
+    every candidate is sealed as a potential edge, so the image carries
+    the full indirect fan-out even though one edge executes.
+    """
+    n_sites = rng.randint(1, min(2, size))
+    lines = ["main:"] + _seed_regs(rng)
+    functions: List[str] = []
+    for site in range(n_sites):
+        n_targets = rng.randint(1, 3)
+        names = [f"f{site}_{t}" for t in range(n_targets)]
+        chosen = rng.choice(names)
+        lines.append(f"    la a6, {chosen}")
+        lines.append(f"    .targets {', '.join(names)}")
+        lines.append("    jalr ra, a6")
+        lines.append("    add t0, t0, a0")
+        for name in names:
+            functions += [f"{name}:",
+                          f"    li a0, {rng.randint(0, 999)}",
+                          f"    {_alu_line(rng)}",
+                          "    ret"]
+    return _asm(lines + _EPILOGUE + functions)
+
+
+# -- mini-C generator --------------------------------------------------------
+
+def _c_expr(rng: random.Random, names: List[str], depth: int = 0) -> str:
+    if depth >= 2 + (0 if not names else 1) or rng.random() < 0.35:
+        if names and rng.random() < 0.5:
+            return rng.choice(names)
+        return str(rng.randint(-999, 999))
+    op = rng.choice(["+", "-", "*", "&", "|", "^", "<<", ">>",
+                     "<", ">", "==", "!=", "&&", "||"])
+    left = _c_expr(rng, names, depth + 1)
+    right = _c_expr(rng, names, depth + 1)
+    if op in ("<<", ">>"):
+        right = str(rng.randint(0, 15))
+    return f"({left} {op} {right})"
+
+
+def _c_div_expr(rng: random.Random, names: List[str]) -> str:
+    # division/modulo only by nonzero constants (C UB stays out of scope)
+    op = rng.choice(["/", "%"])
+    denom = rng.choice([d for d in range(-9, 10) if d])
+    return f"({_c_expr(rng, names)} {op} {denom})"
+
+
+def _gen_minic(rng: random.Random, size: int) -> str:
+    """A mini-C translation unit feeding the whole repro.cc front-end."""
+    helpers = []
+    helper_names = []
+    for h in range(rng.randint(0, size)):
+        name = f"mix{h}"
+        helper_names.append(name)
+        helpers.append(
+            f"int {name}(int x, int y) {{\n"
+            f"    return {_c_expr(rng, ['x', 'y'])};\n"
+            f"}}\n")
+    body = ["    int acc = %d;" % rng.randint(-99, 99)]
+    names = ["acc"]
+    for v in range(rng.randint(1, 1 + size)):
+        var = f"v{v}"
+        body.append(f"    int {var} = {_c_expr(rng, names)};")
+        names.append(var)
+    for stmt in range(rng.randint(1, 1 + size)):
+        kind = rng.randrange(4)
+        if kind == 0 and helper_names:
+            fn = rng.choice(helper_names)
+            body.append(f"    acc = {fn}({_c_expr(rng, names)}, "
+                        f"{_c_expr(rng, names)});")
+        elif kind == 1:
+            count = rng.randint(1, 6)
+            body.append(f"    for (int i{stmt} = 0; i{stmt} < {count}; "
+                        f"i{stmt} = i{stmt} + 1) {{")
+            body.append(f"        acc = acc + {_c_expr(rng, names)};")
+            body.append("    }")
+        elif kind == 2:
+            body.append(f"    if ({_c_expr(rng, names)}) {{")
+            body.append(f"        acc = {_c_expr(rng, names)};")
+            body.append("    } else {")
+            body.append(f"        acc = {_c_div_expr(rng, names)};")
+            body.append("    }")
+        else:
+            body.append(f"    {rng.choice(names)} = {_c_expr(rng, names)};")
+    for name in names[:3]:
+        body.append(f"    print_int({name});")
+    body.append("    return 0;")
+    return "".join(helpers) + "int main() {\n" + "\n".join(body) + "\n}\n"
+
+
+_GENERATORS = {
+    "straight": _gen_straight,
+    "diamond": _gen_diamond,
+    "loop": _gen_loop,
+    "calltree": _gen_calltree,
+    "indirect": _gen_indirect,
+    "minic": _gen_minic,
+}
+
+
+def generate(genome: Genome) -> Specimen:
+    """Grow the specimen a genome encodes (pure and deterministic)."""
+    generator = _GENERATORS.get(genome.shape)
+    if generator is None:
+        raise ValueError(
+            f"unknown specimen shape {genome.shape!r}; choose from {SHAPES}")
+    source = generator(genome.rng(), genome.size)
+    language = "c" if genome.shape == "minic" else "asm"
+    return Specimen(genome=genome, language=language, source=source)

@@ -124,6 +124,13 @@ def decode(word: int, pc: int = 0) -> Instruction:
     Raises :class:`DecodingError` for unknown opcodes — the simulated
     processor treats that as an illegal-instruction trap, which is how
     "random data" from a SOFIA decryption error usually manifests.
+
+    Decoding is **canonical**: a word whose format leaves field bits
+    unused (nop/halt operand bits, R-format bits [10:0], the ``lui`` rs1
+    field, the ``jr`` rd field, the ``jalr`` imm16 field) only decodes
+    when those bits are zero — exactly the words :func:`encode` can
+    produce, so ``encode(decode(w), pc) == w`` for every decodable word
+    (the round-trip property the fuzzer pins).
     """
     word &= WORD_MASK
     spec = OPCODE_TO_SPEC.get(word >> 26)
@@ -135,13 +142,22 @@ def decode(word: int, pc: int = 0) -> Instruction:
     f11 = (word >> 11) & 0x1F
     raw16 = word & IMM16_MASK
     if spec.fmt == "N":
+        if word & IMM26_MASK:
+            raise DecodingError(
+                f"{name}: non-canonical operand bits in word 0x{word:08x}")
         return Instruction(name)
     if spec.fmt == "R":
+        if word & 0x7FF:
+            raise DecodingError(
+                f"{name}: non-canonical low bits in word 0x{word:08x}")
         return Instruction(name, rd=f21, rs1=f16, rs2=f11)
     if spec.fmt == "I":
         imm = _decode_imm16(raw16, name)
         if name in SHIFT_IMMS and imm >= 32:
             raise DecodingError(f"{name}: shift amount {imm} out of range")
+        if name == "lui" and f16:
+            raise DecodingError(
+                f"lui: non-canonical rs1 field in word 0x{word:08x}")
         rs1 = 0 if name == "lui" else f16
         return Instruction(name, rd=f21, rs1=rs1, imm=imm)
     if spec.fmt == "M":
@@ -155,8 +171,14 @@ def decode(word: int, pc: int = 0) -> Instruction:
     if spec.fmt == "J":
         return Instruction(name, imm=(word & IMM26_MASK) << 2)
     if spec.fmt == "JR":
+        if raw16:
+            raise DecodingError(
+                f"{name}: non-canonical low bits in word 0x{word:08x}")
         if name == "jalr":
             return Instruction(name, rd=f21, rs1=f16)
+        if f21:
+            raise DecodingError(
+                f"jr: non-canonical rd field in word 0x{word:08x}")
         return Instruction(name, rs1=f16)
     raise AssertionError(f"unhandled format {spec.fmt}")
 

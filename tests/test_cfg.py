@@ -118,6 +118,22 @@ class TestBuilder:
         """))
         assert (2, 3) in edges_of(cfg, "jump")
 
+    def test_trailing_label_target_rejected_cleanly(self):
+        # fuzzer-found (repro.fuzz minimizer): a label bound past the
+        # last instruction parses and assembles, but building its CFG
+        # used to escape as a raw ValueError instead of CFGError
+        for source in ("main:\n    li t0, 1\n    beq t0, t0, end\nend:\n",
+                       "main:\n    jmp end\nend:\n",
+                       "main:\n    call end\n    halt\nend:\n"):
+            with pytest.raises(CFGError):
+                build_cfg(parse(source))
+
+    def test_trailing_entry_label_rejected_cleanly(self):
+        # the entry label itself can be the trailing one (the reset
+        # edge used to raise a raw ValueError before any CTI is seen)
+        with pytest.raises(CFGError):
+            build_cfg(parse("helper: halt\nmain:\n"))
+
     def test_indirect_without_targets_rejected(self):
         with pytest.raises(CFGError):
             build_cfg(parse("""

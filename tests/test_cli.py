@@ -116,3 +116,31 @@ class TestTools:
         assert main(["report", "-o", str(out), "--scale", "tiny"]) == 0
         text = out.read_text()
         assert "Table I" in text and "E8" in text and "E11" in text
+
+
+class TestFuzz:
+    def test_fuzz_clean_campaign(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        assert main(["fuzz", "--seeds", "30", "--seed", "9",
+                     "--corpus", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "divergences 0" in out and "coverage:" in out
+        assert (corpus / "coverage.json").is_file()
+        assert (corpus / "report.json").is_file()
+        assert not (corpus / "triage").exists()
+
+    def test_fuzz_divergence_sets_exit_code(self, capsys, monkeypatch):
+        import repro.sim.engine as engine
+
+        def bad_add(i):
+            rd, a, b = i.rd, i.rs1, i.rs2
+
+            def run(regs, memory, pc, rd=rd, a=a, b=b):
+                if rd:
+                    regs[rd] = (regs[a] + regs[b] + 1) & 0xFFFFFFFF
+                return None
+            return run
+
+        monkeypatch.setitem(engine.COMPILERS, "add", bad_add)
+        assert main(["fuzz", "--seeds", "12", "--seed", "9"]) == 1
+        assert "divergences" in capsys.readouterr().out

@@ -137,3 +137,63 @@ class TestDecodeErrors:
     def test_is_valid_word(self):
         assert is_valid_word(encode(Instruction("add", rd=1, rs1=2, rs2=3)))
         assert not is_valid_word(0xFFFFFFFF)
+
+
+class TestCanonicalRoundTrip:
+    """``encode(decode(w), pc) == w`` for every decodable word.
+
+    Each regression below pins a fuzzer-found totality bug: words with
+    garbage in unused field bits used to decode to an instruction whose
+    re-encoding differed from the original word (the decoder silently
+    normalized the garbage away).  Canonical decoding rejects them as
+    illegal instructions instead.
+    """
+
+    @given(word=st.integers(min_value=0, max_value=0xFFFFFFFF),
+           pc_words=st.integers(min_value=0, max_value=1 << 22))
+    @settings(max_examples=400, deadline=None)
+    def test_roundtrip_property(self, word, pc_words):
+        pc = 4 * pc_words
+        try:
+            instr = decode(word, pc)
+        except DecodingError:
+            return
+        assert encode(instr, pc) == word
+
+    def test_nop_with_operand_bits_rejected(self):
+        # opcode 0x00 word with garbage low bits is not a canonical nop
+        assert decode(0x00000000).mnemonic == "nop"
+        with pytest.raises(DecodingError):
+            decode(0x00000001)
+        halt = encode(Instruction("halt"))
+        assert decode(halt).mnemonic == "halt"
+        with pytest.raises(DecodingError):
+            decode(halt | 0x00123456)
+
+    def test_rtype_with_low_bits_rejected(self):
+        word = encode(Instruction("add", rd=1, rs1=2, rs2=3))
+        assert decode(word).mnemonic == "add"
+        with pytest.raises(DecodingError):
+            decode(word | 0x1)
+        with pytest.raises(DecodingError):
+            decode(word | 0x7FF)
+
+    def test_lui_with_rs1_field_rejected(self):
+        word = encode(Instruction("lui", rd=4, imm=0x1234))
+        assert decode(word).imm == 0x1234
+        with pytest.raises(DecodingError):
+            decode(word | (7 << 16))
+
+    def test_jr_with_rd_field_rejected(self):
+        word = encode(Instruction("jr", rs1=1))
+        assert decode(word).rs1 == 1
+        with pytest.raises(DecodingError):
+            decode(word | (3 << 21))
+
+    def test_jr_jalr_with_imm_bits_rejected(self):
+        for instr in (Instruction("jr", rs1=5),
+                      Instruction("jalr", rd=1, rs1=9)):
+            word = encode(instr)
+            assert decode(word).mnemonic == instr.mnemonic
+            with pytest.raises(DecodingError):
+                decode(word | 0x8001)
