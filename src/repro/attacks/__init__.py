@@ -1,6 +1,6 @@
 """Attack framework: victim, defenses, attack catalogue, campaign."""
 
-from .actions import ATTACKS, Attack
+from .actions import ATTACKS, Attack, gadget_instructions, gadget_words
 from .harness import (AttackResult, Outcome, campaign_matrix, classify,
                       format_matrix, run_attack, run_campaign,
                       verify_benign)
@@ -9,7 +9,7 @@ from .victim import (BENIGN_OUTPUT, BUFFER_WORDS, RA_SLOT, UNLOCK_VALUE,
                      VICTIM_ASM, victim_program)
 
 __all__ = [
-    "Attack", "ATTACKS",
+    "Attack", "ATTACKS", "gadget_words", "gadget_instructions",
     "AttackResult", "Outcome", "run_attack", "run_campaign",
     "campaign_matrix", "format_matrix", "classify", "verify_benign",
     "Target", "build_targets",

@@ -29,16 +29,26 @@ class Attack:
     apply: Callable[[object, "Target"], None]  # (machine, target) -> None
 
 
-def _gadget_words() -> List[int]:
-    """Plaintext encoding of an actuator-unlock gadget (5 words)."""
-    instructions = [
+def gadget_instructions() -> List[Instruction]:
+    """The actuator-unlock gadget as instructions (5 slots).
+
+    The canonical attacker payload: it works against *any* program (the
+    actuator address is architectural, not program-specific), so the
+    attack-synthesis engine injects it into arbitrary protected images
+    and uses the actuator write as its program-independent hijack signal.
+    """
+    return [
         Instruction("lui", rd=12, imm=(MMIO_ACTUATOR >> 16) & 0xFFFF),
         Instruction("ori", rd=12, rs1=12, imm=MMIO_ACTUATOR & 0xFFFF),
         Instruction("lui", rd=13, imm=(UNLOCK_VALUE >> 16) & 0xFFFF),
         Instruction("ori", rd=13, rs1=13, imm=UNLOCK_VALUE & 0xFFFF),
         Instruction("sw", rs2=13, rs1=12, imm=0),
     ]
-    return [encode(i) for i in instructions]
+
+
+def gadget_words() -> List[int]:
+    """Plaintext encoding of the actuator-unlock gadget (5 words)."""
+    return [encode(i) for i in gadget_instructions()]
 
 
 def _symbol(target, name: str) -> int:
@@ -59,7 +69,7 @@ def attack_bit_flip(machine, target) -> None:
 def attack_inject_code(machine, target) -> None:
     """Write a plaintext actuator-unlock gadget over the patch site."""
     base = _symbol(target, "patch_site")
-    for offset, word in enumerate(_gadget_words()):
+    for offset, word in enumerate(gadget_words()):
         machine.memory.poke_code(base + 4 * offset, word)
 
 

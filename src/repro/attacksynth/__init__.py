@@ -1,0 +1,63 @@
+"""repro.attacksynth — systematic attack synthesis (ISSUE 4, E16).
+
+The paper's headline claim is that SOFIA detects *every* control-flow
+bend, code injection and block replay.  The hand-written campaign
+(:mod:`repro.attacks`, E8) argues this with one victim; this package
+argues it over the program space: it takes **any** protected image —
+a hand workload or a fuzz-generated specimen — and mechanically
+enumerates concrete attack instances from its CFG and layout metadata,
+each with an analytically expected verdict, then runs every instance
+against the SOFIA core, the undefended core and (optionally) the ISR
+baselines, cross-checking prediction against observation.
+
+:mod:`repro.attacksynth.model`
+    instance/outcome dataclasses, expected-verdict and matrix-cell
+    vocabulary.
+
+:mod:`repro.attacksynth.enumerate`
+    the enumerator: control-flow bends, wrong-entry-offset bends, block
+    replay/splice, stale-nonce replay across ``renonce`` epochs,
+    plaintext and attacker-encrypted gadget injection, and
+    store-slot/CTI-slot forgeries sealed with real keys (the
+    successful-forgery model that isolates the structural checks).
+
+:mod:`repro.attacksynth.classify`
+    materialization (image mutation hooks + PC warps) and observational
+    outcome classification against the clean run.
+
+:mod:`repro.attacksynth.matrix`
+    the E16 detection matrix (family x target -> outcome counts).
+
+:mod:`repro.attacksynth.campaign`
+    deterministic campaigns over :mod:`repro.runner`; drives the
+    ``repro attacksynth`` CLI and exports JSON/CSV through
+    :mod:`repro.eval.export`.
+
+Quickstart::
+
+    from repro.attacksynth import run_attacksynth
+    report = run_attacksynth(programs=50, seed=7)
+    assert report.ok, report.render()      # no instance beats SOFIA
+"""
+
+from .campaign import (DEFAULT_PROGRAMS, DEFAULT_SEED, SynthReport,
+                       run_attacksynth, run_attacksynth_image)
+from .classify import (classify_result, materialize_image, observables,
+                       run_plain_instance, run_sofia_instance)
+from .enumerate import (DEFAULT_PLAN, block_entries, cti_sources,
+                        enumerate_geometric, enumerate_instances,
+                        sealed_edges)
+from .matrix import DetectionMatrix
+from .model import (AttackInstance, FAMILIES, InstanceResult,
+                    ProgramOutcome)
+
+__all__ = [
+    "run_attacksynth", "run_attacksynth_image", "SynthReport",
+    "DEFAULT_SEED", "DEFAULT_PROGRAMS",
+    "AttackInstance", "InstanceResult", "ProgramOutcome", "FAMILIES",
+    "enumerate_instances", "enumerate_geometric", "sealed_edges",
+    "block_entries", "cti_sources", "DEFAULT_PLAN",
+    "classify_result", "observables", "materialize_image",
+    "run_sofia_instance", "run_plain_instance",
+    "DetectionMatrix",
+]

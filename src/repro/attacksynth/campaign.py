@@ -1,0 +1,420 @@
+"""Attack-synthesis campaigns over the parallel runner (experiment E16).
+
+One *task* is one protected program: the worker builds it (generate →
+assemble → transform), runs the clean baselines, enumerates its attack
+instances and runs every instance against every target, returning a
+picklable :class:`ProgramOutcome`.  All aggregation — the detection
+matrix, anomaly lists, the empirical-vs-analytic bound cross-check —
+happens in the parent in task order, so a campaign is deterministic in
+every knob: the same ``seed``/``programs`` produce byte-identical JSON
+and CSV artifacts at any ``--jobs`` value (the export deliberately
+carries no wall-clock or worker-count field).
+
+Program sources, in precedence order:
+
+* an explicit ``.sofia`` image (:func:`run_attacksynth_image`) —
+  metadata-less, purely observational;
+* a fuzzing corpus directory (``corpus_dir``) — coverage-selected
+  specimens from :mod:`repro.fuzz` become the victims, topped up with
+  fresh genomes when the corpus is smaller than ``programs``;
+* fresh fuzz genomes drawn deterministically from the campaign seed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..baselines.isr import EcbIsrMachine, XorIsrMachine
+from ..crypto.keys import DeviceKeys, derive_key
+from ..errors import ReproError
+from ..eval.export import attacksynth_csv, attacksynth_json
+from ..fuzz.corpus import Corpus
+from ..fuzz.generators import Genome, generate, random_genome
+from ..fuzz.oracle import build_program
+from ..isa.assembler import assemble
+from ..runner import run_tasks, task_rng
+from ..runner.cache import DEFAULT_KEY_SEED
+from ..security.bounds import EmpiricalCheck, empirical_check
+from ..sim.sofia import SofiaMachine
+from ..sim.vanilla import VanillaMachine
+from ..transform.config import TransformConfig
+from ..transform.image import SofiaImage
+from ..transform.transformer import transform
+from .classify import (PLAIN_BUDGET, SOFIA_BUDGET, observables,
+                       run_plain_instance, run_sofia_instance)
+from .enumerate import enumerate_geometric, enumerate_instances
+from .matrix import DetectionMatrix
+from .model import (EXPECT_BENIGN, EXPECT_DETECTED, EXPECT_EDGE_OK,
+                    InstanceResult, OBS_NA, OBS_SURVIVED_DIVERGENT,
+                    ProgramOutcome, TARGET_ECB, TARGET_SOFIA,
+                    TARGET_VANILLA, TARGET_XOR)
+
+DEFAULT_SEED = 0xA77AC2
+DEFAULT_PROGRAMS = 200
+
+# per-process context installed by the pool initializer
+_WORKER_CTX: Optional[tuple] = None
+
+
+def _init_synth_worker(key_seed: int, campaign_seed: int,
+                       per_program: Optional[int],
+                       include_baselines: bool) -> None:
+    global _WORKER_CTX
+    keys = DeviceKeys.from_seed(key_seed)
+    xor_key = derive_key(key_seed, "xor-isr") & 0xFFFFFFFF
+    ecb_key = derive_key(key_seed, "ecb-isr")
+    _WORKER_CTX = (keys, key_seed, campaign_seed, per_program,
+                   include_baselines, xor_key, ecb_key)
+
+
+def _clean_sofia(image: SofiaImage, keys: DeviceKeys):
+    """Clean run + the set of block bases the execution fetches."""
+    machine = SofiaMachine(image, keys)
+    traversed = set()
+    block_base_of = image.block_base_of
+    machine.on_commit = lambda pc, _instr: traversed.add(block_base_of(pc))
+    result = machine.run(max_instructions=SOFIA_BUDGET)
+    return result, traversed
+
+
+def _program_label(index: int, genome: Genome) -> str:
+    return (f"p{index:03d}:{genome.shape}/s{genome.seed:x}"
+            f"/bw{genome.block_words}")
+
+
+def _sofia_instance_result(instance, image: SofiaImage, keys: DeviceKeys,
+                           clean_obs) -> Tuple[InstanceResult, bool]:
+    """Run one instance on the SOFIA core into a fresh result record."""
+    result = InstanceResult(
+        family=instance.family, name=instance.name,
+        description=instance.description, expected=instance.expected,
+        expected_plain=instance.expected_plain)
+    sofia_out, hijacked, violation, edge_ok = run_sofia_instance(
+        instance, image, keys, clean_obs)
+    result.outcomes[TARGET_SOFIA] = sofia_out
+    result.violation = violation
+    result.edge_ok = edge_ok
+    return result, hijacked
+
+
+def _synth_task(task: Tuple[int, Genome]) -> ProgramOutcome:
+    """Worker: build one program, enumerate and run all its attacks."""
+    (keys, key_seed, campaign_seed, per_program,
+     include_baselines, xor_key, ecb_key) = _WORKER_CTX
+    index, genome = task
+    outcome = ProgramOutcome(index=index,
+                             label=_program_label(index, genome))
+    try:
+        program = build_program(generate(genome))
+        exe = assemble(program)
+        image = transform(program, keys, nonce=genome.nonce,
+                          config=TransformConfig(
+                              block_words=genome.block_words))
+    except ReproError as exc:
+        outcome.build_error = f"{type(exc).__name__}: {exc}"
+        return outcome
+    outcome.blocks = image.num_blocks
+
+    plain_targets = [(TARGET_VANILLA,
+                      lambda: VanillaMachine(exe))]
+    if include_baselines:
+        plain_targets.append(
+            (TARGET_XOR, lambda: XorIsrMachine(exe, xor_key)))
+        plain_targets.append(
+            (TARGET_ECB, lambda: EcbIsrMachine(exe, ecb_key)))
+
+    sofia_clean, traversed = _clean_sofia(image, keys)
+    plain_clean = {}
+    for name, make in plain_targets:
+        plain_clean[name] = make().run(max_instructions=PLAIN_BUDGET)
+    if not sofia_clean.ok:
+        outcome.build_error = (f"clean SOFIA run failed: "
+                               f"{sofia_clean.summary()}")
+        return outcome
+    for name, _make in plain_targets:
+        if not plain_clean[name].ok:
+            outcome.build_error = (f"clean {name} run failed: "
+                                   f"{plain_clean[name].summary()}")
+            return outcome
+    sofia_obs = observables(sofia_clean)
+    plain_obs = {name: observables(result)
+                 for name, result in plain_clean.items()}
+
+    rng = task_rng(campaign_seed, "attacksynth", index)
+    instances = enumerate_instances(image, exe, keys, traversed, rng,
+                                    key_seed)
+    if per_program is not None:
+        instances = instances[:per_program]
+
+    for instance in instances:
+        result, hij = _sofia_instance_result(instance, image, keys,
+                                             sofia_obs)
+        hijacked = [TARGET_SOFIA] if hij else []
+        for name, make in plain_targets:
+            if not instance.plain_applicable:
+                result.outcomes[name] = OBS_NA
+                continue
+            plain_out, plain_hij = run_plain_instance(
+                instance, make, plain_obs[name])
+            result.outcomes[name] = plain_out
+            if plain_hij:
+                hijacked.append(name)
+        result.hijacked = tuple(hijacked)
+        outcome.instances.append(result)
+    return outcome
+
+
+@dataclass
+class SynthReport:
+    """Everything one campaign produced, with the cross-checks applied."""
+
+    seed: int
+    key_seed: int
+    source: str                       # "generated" | "corpus" | "image"
+    per_program: Optional[int]
+    include_baselines: bool
+    programs: List[ProgramOutcome] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    # -- aggregation -----------------------------------------------------
+
+    @property
+    def instances(self) -> int:
+        return sum(len(p.instances) for p in self.programs)
+
+    @property
+    def build_errors(self) -> List[Tuple[str, str]]:
+        return [(p.label, p.build_error) for p in self.programs
+                if p.build_error is not None]
+
+    def _iter_results(self):
+        for program in self.programs:
+            for result in program.instances:
+                yield program, result
+
+    def matrix(self) -> DetectionMatrix:
+        matrix = DetectionMatrix()
+        for _program, result in self._iter_results():
+            for target, outcome in sorted(result.outcomes.items()):
+                matrix.observe(result.family, target, outcome,
+                               hijacked=target in result.hijacked)
+        return matrix
+
+    def expected_counts(self) -> Dict[str, int]:
+        counts = {EXPECT_DETECTED: 0, EXPECT_BENIGN: 0, EXPECT_EDGE_OK: 0,
+                  "unknown": 0}
+        for _program, result in self._iter_results():
+            counts[result.expected or "unknown"] += 1
+        return counts
+
+    @property
+    def missed(self) -> List[Tuple[str, str]]:
+        """Viable against SOFIA: predicted detected, not detected."""
+        return [(p.label, r.name) for p, r in self._iter_results()
+                if r.missed]
+
+    @property
+    def benign_anomalies(self) -> List[Tuple[str, str]]:
+        return [(p.label, r.name) for p, r in self._iter_results()
+                if r.benign_anomaly]
+
+    @property
+    def edge_anomalies(self) -> List[Tuple[str, str]]:
+        """Sealed (legitimate) edges the front-end refused."""
+        return [(p.label, r.name) for p, r in self._iter_results()
+                if r.edge_anomaly]
+
+    @property
+    def plain_anomalies(self) -> List[Tuple[str, str]]:
+        """Pinned-viable plaintext analogues that failed to succeed."""
+        return [(p.label, r.name) for p, r in self._iter_results()
+                if r.plain_anomaly]
+
+    @property
+    def ok(self) -> bool:
+        return (not self.missed and not self.benign_anomalies
+                and not self.edge_anomalies and not self.plain_anomalies
+                and not self.build_errors)
+
+    def vanilla_stats(self) -> Tuple[int, int]:
+        """(applicable, successes) of instances against the vanilla core."""
+        applicable = successes = 0
+        for _program, result in self._iter_results():
+            outcome = result.outcomes.get(TARGET_VANILLA)
+            if outcome is None or outcome == OBS_NA:
+                continue
+            applicable += 1
+            if (outcome == OBS_SURVIVED_DIVERGENT
+                    or TARGET_VANILLA in result.hijacked):
+                successes += 1
+        return applicable, successes
+
+    def bounds(self) -> EmpiricalCheck:
+        """Empirical detection rate vs the §IV-A forgery bound."""
+        attempts = self.expected_counts()[EXPECT_DETECTED]
+        return empirical_check(attempts, len(self.missed))
+
+    # -- presentation ----------------------------------------------------
+
+    def to_record(self) -> Dict:
+        """Canonical JSON document (wall-clock- and jobs-free)."""
+        expected = self.expected_counts()
+        applicable, successes = self.vanilla_stats()
+        bounds = self.bounds()
+        return {
+            "campaign": "attacksynth",
+            "parameters": {
+                "seed": self.seed,
+                "key_seed": self.key_seed,
+                "source": self.source,
+                "per_program": self.per_program,
+                "baselines": self.include_baselines,
+                "programs": len(self.programs),
+            },
+            "instances": self.instances,
+            "expected": expected,
+            "matrix": self.matrix().to_record(),
+            "anomalies": {
+                "missed": [list(pair) for pair in self.missed],
+                "benign": [list(pair) for pair in self.benign_anomalies],
+                "edge": [list(pair) for pair in self.edge_anomalies],
+                "plain": [list(pair) for pair in self.plain_anomalies],
+                "build": [list(pair) for pair in self.build_errors],
+            },
+            "vanilla": {
+                "applicable": applicable,
+                "successes": successes,
+                "rate": round(successes / applicable, 4) if applicable
+                        else None,
+            },
+            "bounds": {
+                "attempts": bounds.attempts,
+                "undetected": bounds.undetected,
+                "mac_bits": bounds.mac_bits,
+                "expected": bounds.expected,
+                "consistent": bounds.consistent,
+            },
+        }
+
+    def render(self) -> str:
+        expected = self.expected_counts()
+        applicable, successes = self.vanilla_stats()
+        lines = [
+            "Attack synthesis (E16)",
+            f"  programs    {len(self.programs)}  (source: {self.source}, "
+            f"seed {self.seed:#x})",
+            f"  instances   {self.instances}  "
+            f"(expect detected {expected[EXPECT_DETECTED]}, "
+            f"benign {expected[EXPECT_BENIGN]}, "
+            f"edge-ok {expected[EXPECT_EDGE_OK]}, "
+            f"unknown {expected['unknown']})",
+            "",
+            self.matrix().render(),
+            "",
+            f"  SOFIA misses      {len(self.missed)}",
+            f"  benign anomalies  {len(self.benign_anomalies)}",
+            f"  edge anomalies    {len(self.edge_anomalies)}",
+            f"  plain anomalies   {len(self.plain_anomalies)}",
+            f"  vanilla success   {successes}/{applicable}",
+            f"  bound cross-check {self.bounds().render()}",
+        ]
+        for label, name in (self.missed + self.benign_anomalies
+                            + self.edge_anomalies + self.plain_anomalies):
+            lines.append(f"    ANOMALY {label} {name}")
+        for label, error in self.build_errors:
+            lines.append(f"    BUILD   {label} {error}")
+        return "\n".join(lines)
+
+
+def _campaign_genomes(programs: int, seed: int,
+                      corpus_dir) -> Tuple[str, List[Genome]]:
+    """Victim programs: corpus entries first, fresh genomes after."""
+    genomes: List[Genome] = []
+    source = "generated"
+    if corpus_dir is not None:
+        genomes = Corpus.load(corpus_dir).genomes()[:programs]
+        if genomes:
+            source = "corpus"
+    index = 0
+    while len(genomes) < programs:
+        genomes.append(random_genome(task_rng(seed, "attacksynth-gen",
+                                              index)))
+        index += 1
+    return source, genomes
+
+
+def run_attacksynth(programs: int = DEFAULT_PROGRAMS, *,
+                    seed: int = DEFAULT_SEED,
+                    per_program: Optional[int] = None,
+                    parallel: bool = False, jobs: Optional[int] = None,
+                    corpus_dir=None,
+                    include_baselines: bool = False,
+                    key_seed: int = DEFAULT_KEY_SEED,
+                    export_path=None, csv_path=None) -> SynthReport:
+    """Enumerate and run attacks over ``programs`` protected programs."""
+    started = time.perf_counter()
+    source, genomes = _campaign_genomes(programs, seed, corpus_dir)
+    report = SynthReport(seed=seed, key_seed=key_seed, source=source,
+                         per_program=per_program,
+                         include_baselines=include_baselines)
+    tasks = list(enumerate(genomes))
+    report.programs = run_tasks(
+        _synth_task, tasks, jobs=jobs, parallel=parallel,
+        initializer=_init_synth_worker,
+        initargs=(key_seed, seed, per_program, include_baselines))
+    report.elapsed_seconds = time.perf_counter() - started
+    _export(report, export_path, csv_path)
+    return report
+
+
+def run_attacksynth_image(image: SofiaImage, *, seed: int = DEFAULT_SEED,
+                          per_program: Optional[int] = None,
+                          key_seed: int = DEFAULT_KEY_SEED,
+                          export_path=None, csv_path=None) -> SynthReport:
+    """Observational sweep over one explicit (metadata-less) image.
+
+    Deserialized images carry no layout metadata, so enumeration is
+    geometric and every expected verdict is unknown; the report records
+    what the hardware model actually did, cell by cell.
+    """
+    started = time.perf_counter()
+    keys = DeviceKeys.from_seed(key_seed)
+    report = SynthReport(seed=seed, key_seed=key_seed, source="image",
+                         per_program=per_program, include_baselines=False)
+    outcome = ProgramOutcome(index=0, label="image")
+    outcome.blocks = image.num_blocks
+    clean = SofiaMachine(image, keys).run(max_instructions=SOFIA_BUDGET)
+    if not clean.ok:
+        # without a clean baseline every mutated run "detects" too — a
+        # wrong key seed must be an error, not a perfect-looking matrix
+        outcome.build_error = (
+            f"clean run of the image failed: {clean.summary()} "
+            f"(wrong --key-seed, or a corrupt image?)")
+        report.programs = [outcome]
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+    clean_obs = observables(clean)
+    rng = task_rng(seed, "attacksynth-image")
+    instances = enumerate_geometric(image, rng)
+    if per_program is not None:
+        instances = instances[:per_program]
+    for instance in instances:
+        result, hij = _sofia_instance_result(instance, image, keys,
+                                             clean_obs)
+        result.hijacked = (TARGET_SOFIA,) if hij else ()
+        outcome.instances.append(result)
+    report.programs = [outcome]
+    report.elapsed_seconds = time.perf_counter() - started
+    _export(report, export_path, csv_path)
+    return report
+
+
+def _export(report: SynthReport, export_path, csv_path) -> None:
+    if report.instances == 0:
+        return  # an empty campaign is an error, not an artifact
+    if export_path is not None:
+        attacksynth_json(report.to_record(), export_path)
+    if csv_path is not None:
+        attacksynth_csv(report.matrix().csv_rows(), csv_path)

@@ -1,0 +1,160 @@
+"""Data model of the attack-synthesis engine.
+
+An :class:`AttackInstance` is one *concrete, mechanically derived* attack
+against one protected program: a control-flow warp, a set of program-memory
+writes, or both — materialized in the SOFIA image's address space and (when
+the attack has a plaintext analogue) in the vanilla/ISR address space.  The
+enumerator (:mod:`repro.attacksynth.enumerate`) attaches an **expected
+verdict** derived analytically from the image's CFG/layout metadata; the
+classifier (:mod:`repro.attacksynth.classify`) attaches **observed
+outcomes** per target; the campaign cross-checks the two.
+
+Expected verdicts (what the SOFIA model *predicts*):
+
+``detected``
+    the mutation is SI/CFI-violating; the hardware must reset before any
+    effect commits.  Every such instance is one online forgery attempt in
+    the sense of paper §IV-A, so the campaign's aggregate detection rate
+    is held against :func:`repro.security.bounds.empirical_check`.
+``benign``
+    the mutation provably cannot influence the run (e.g. it rewrites a
+    block the clean execution never fetches); the run must be
+    observably identical to the clean one.
+``edge-ok``
+    a control-flow bend along a *sealed* edge: the front-end must accept
+    the first traversal (it is a legitimate CFG edge), after which the
+    run may do anything the program allows.
+``None``
+    unknown — metadata-less enumeration over a raw ``.sofia`` file.
+
+Observed outcomes per target are the strings in :data:`OBSERVED`; an
+instance with ``expected == "detected"`` whose SOFIA outcome is anything
+but ``detected`` is **viable against SOFIA** — the finding class the whole
+engine exists to prove empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: attack families the enumerator emits, in canonical matrix order
+FAMILIES: Tuple[str, ...] = (
+    "bend", "bend-entry-offset", "replay", "stale-nonce",
+    "inject-plain", "inject-enc", "forge-store-slot", "forge-cti-slot")
+
+#: expected-verdict values
+EXPECT_DETECTED = "detected"
+EXPECT_BENIGN = "benign"
+EXPECT_EDGE_OK = "edge-ok"
+
+#: observed-outcome values (matrix cells)
+OBS_DETECTED = "detected"
+OBS_CRASHED = "crashed"
+OBS_SURVIVED_CLEAN = "survived-clean"
+OBS_SURVIVED_DIVERGENT = "survived-divergent"
+OBS_LIMIT = "limit"
+OBS_NA = "n/a"
+
+OBSERVED: Tuple[str, ...] = (
+    OBS_DETECTED, OBS_CRASHED, OBS_SURVIVED_CLEAN, OBS_SURVIVED_DIVERGENT,
+    OBS_LIMIT, OBS_NA)
+
+#: target names (matrix columns)
+TARGET_SOFIA = "sofia"
+TARGET_VANILLA = "vanilla"
+TARGET_XOR = "xor-isr"
+TARGET_ECB = "ecb-isr"
+
+
+@dataclass(frozen=True)
+class AttackInstance:
+    """One concrete attack, materialized for every target address space."""
+
+    family: str
+    name: str                       # unique within its program
+    description: str
+    expected: Optional[str]         # expected SOFIA verdict (see module doc)
+    #: control-flow warp in image space: start the machine at
+    #: ``entry_pc`` with ``prev_pc`` as the inbound edge (a diverted CTI)
+    prev_pc: Optional[int] = None
+    entry_pc: Optional[int] = None
+    #: program-memory writes in image space (address, ciphertext word)
+    writes: Tuple[Tuple[int, int], ...] = ()
+    #: run against the image re-sealed under this nonce (stale-nonce
+    #: replay: ``writes`` then splice *old*-epoch ciphertext back in)
+    renonce: Optional[int] = None
+    #: plaintext-analogue materialization (vanilla / ISR machines)
+    plain_entry: Optional[int] = None
+    plain_writes: Tuple[Tuple[int, int], ...] = ()
+    plain_applicable: bool = True
+    #: expected verdict against the *undefended* core ("viable" when the
+    #: attack must succeed there, e.g. gadget injection at the entry)
+    expected_plain: Optional[str] = None
+
+
+@dataclass
+class InstanceResult:
+    """Observed outcomes of one instance across all targets."""
+
+    family: str
+    name: str
+    description: str
+    expected: Optional[str]
+    expected_plain: Optional[str]
+    #: target name -> observed outcome string
+    outcomes: Dict[str, str] = field(default_factory=dict)
+    #: targets whose actuator received the unlock value
+    hijacked: Tuple[str, ...] = ()
+    #: SOFIA violation kind when detected ("integrity", "store-slot", ...)
+    violation: Optional[str] = None
+    #: for bends: did the bent edge itself pass the front-end?
+    edge_ok: Optional[bool] = None
+
+    @property
+    def missed(self) -> bool:
+        """Viable against SOFIA: predicted detected, not detected."""
+        return (self.expected == EXPECT_DETECTED
+                and self.outcomes.get(TARGET_SOFIA) != OBS_DETECTED)
+
+    @property
+    def benign_anomaly(self) -> bool:
+        """Predicted no-effect, but the run observably changed."""
+        return (self.expected == EXPECT_BENIGN
+                and self.outcomes.get(TARGET_SOFIA) != OBS_SURVIVED_CLEAN)
+
+    @property
+    def edge_anomaly(self) -> bool:
+        """A sealed (legitimate) edge the front-end refused."""
+        return self.expected == EXPECT_EDGE_OK and self.edge_ok is False
+
+    @property
+    def plain_anomaly(self) -> bool:
+        """Pinned-viable plaintext analogue that failed to succeed.
+
+        The entry-point gadget injection must beat the undefended core
+        (actuator unlocked or output diverged) — it is the structural
+        witness for the campaign's nonzero vanilla success rate.
+        """
+        if self.expected_plain != "viable":
+            return False
+        outcome = self.outcomes.get(TARGET_VANILLA)
+        if outcome is None:
+            return False  # vanilla target not run (image mode)
+        return not (outcome == OBS_SURVIVED_DIVERGENT
+                    or TARGET_VANILLA in self.hijacked)
+
+
+@dataclass
+class ProgramOutcome:
+    """Everything one worker returns for one protected program."""
+
+    index: int
+    label: str                      # e.g. "loop/5f2e... bw=8"
+    blocks: int = 0
+    instances: List[InstanceResult] = field(default_factory=list)
+    build_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.build_error is None

@@ -10,6 +10,7 @@ The toolchain workflow as a developer would drive it:
 ``disasm``          disassemble a program (vanilla address space)
 ``trace``           per-instruction execution trace (vanilla core)
 ``attack``          run the attack campaign, print the E8 matrix
+``attacksynth``     synthesize attacks against generated programs (E16)
 ``fuzz``            coverage-guided differential fuzzing campaign (E15)
 ``experiments``     regenerate paper tables/figures (E1, E2, ...)
 ``report``          write the full E1–E11 evaluation report
@@ -165,6 +166,48 @@ def cmd_attack(args) -> int:
     return 0
 
 
+def cmd_attacksynth(args) -> int:
+    from .attacksynth import run_attacksynth, run_attacksynth_image
+    parallel, jobs = _parse_jobs(args.jobs)
+    if args.image is not None:
+        conflicts = [flag for flag, given in
+                     (("--programs", args.programs is not None),
+                      ("--corpus", args.corpus is not None),
+                      ("--baselines", args.baselines),
+                      ("--jobs", args.jobs != 1)) if given]
+        if conflicts:
+            print(f"error: {', '.join(conflicts)} cannot be combined "
+                  f"with --image (single-image mode is serial and "
+                  f"observational)", file=sys.stderr)
+            return 2
+        image = SofiaImage.from_bytes(Path(args.image).read_bytes())
+        report = run_attacksynth_image(
+            image, seed=args.seed, per_program=args.per_program,
+            key_seed=args.key_seed, export_path=args.export,
+            csv_path=args.csv)
+    else:
+        programs = args.programs if args.programs is not None else 200
+        report = run_attacksynth(
+            programs, seed=args.seed, per_program=args.per_program,
+            parallel=parallel, jobs=jobs, corpus_dir=args.corpus,
+            include_baselines=args.baselines, key_seed=args.key_seed,
+            export_path=args.export, csv_path=args.csv)
+    if report.instances == 0:
+        for label, error in report.build_errors:
+            print(f"error: {label}: {error}", file=sys.stderr)
+        why = ("every program failed to build or run cleanly"
+               if report.build_errors
+               else "empty program set or zero per-program budget")
+        print(f"error: no attack instances enumerated ({why})",
+              file=sys.stderr)
+        return 2
+    print(report.render())
+    for path in (args.export, args.csv):
+        if path:
+            print(f"# wrote {path}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_fuzz(args) -> int:
     from .fuzz import run_fuzz
     parallel, jobs = _parse_jobs(args.jobs)
@@ -278,6 +321,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--export", metavar="FILE",
                    help="write the campaign results as JSON")
     p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser(
+        "attacksynth",
+        help="enumerate+run synthesized attacks (E16)")
+    p.add_argument("--programs", type=int, default=None,
+                   help="fuzz-generated victim programs (default 200)")
+    p.add_argument("--seed", type=int, default=0xA77AC2,
+                   help="campaign seed (determines programs + sampling)")
+    p.add_argument("--per-program", type=int, default=None,
+                   help="cap on attack instances per program")
+    p.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
+                   help="worker processes (0 = one per CPU, 1 = serial)")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="draw victim programs from a fuzzing corpus")
+    p.add_argument("--image", metavar="FILE",
+                   help="attack one .sofia image instead of generated "
+                        "programs (metadata-less, observational)")
+    p.add_argument("--key-seed", type=int, default=0x50F1A,
+                   help="device-key provisioning seed")
+    p.add_argument("--export", metavar="FILE",
+                   help="write the campaign record as canonical JSON")
+    p.add_argument("--csv", metavar="FILE",
+                   help="write the detection matrix as CSV")
+    p.add_argument("--baselines", action="store_true",
+                   help="also run the XOR/ECB ISR baseline machines")
+    p.set_defaults(func=cmd_attacksynth)
 
     p = sub.add_parser("fuzz",
                        help="coverage-guided differential fuzzing (E15)")

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .experiments import (BlockSizePoint, CachePoint, FanInPoint)
 from .overhead import OverheadRow
@@ -63,6 +64,43 @@ def blocksize_csv(points: List[BlockSizePoint],
           round(p.row.size_ratio, 4), round(p.row.cycle_overhead, 4)]
          for p in points],
         path)
+
+
+#: column order of the E16 detection-matrix CSV (one row per
+#: family x target cell); kept here so figure tooling and the
+#: attack-synthesis campaign agree on the schema
+ATTACKSYNTH_CSV_HEADER = (
+    "family", "target", "detected", "crashed", "survived_clean",
+    "survived_divergent", "limit", "hijacked", "not_applicable", "total")
+
+
+def attacksynth_csv(rows: Sequence[Dict[str, Any]],
+                    path: Optional[str] = None) -> str:
+    """E16 data: the attack-synthesis detection matrix, one cell per row.
+
+    ``rows`` are plain dicts keyed by :data:`ATTACKSYNTH_CSV_HEADER`
+    (produced by ``DetectionMatrix.csv_rows`` in
+    :mod:`repro.attacksynth`), so this exporter stays decoupled from the
+    campaign types.
+    """
+    return _write(ATTACKSYNTH_CSV_HEADER,
+                  [[row.get(key, 0) for key in ATTACKSYNTH_CSV_HEADER]
+                   for row in rows],
+                  path)
+
+
+def attacksynth_json(record: Dict[str, Any],
+                     path: Optional[str] = None) -> str:
+    """E16 campaign record as canonical JSON.
+
+    Keys are sorted and no wall-clock or worker-count field is included,
+    so the same campaign parameters produce byte-identical files at any
+    ``--jobs`` value — the determinism contract the CLI tests pin.
+    """
+    text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
 
 
 def cache_csv(points: List[CachePoint],

@@ -91,6 +91,15 @@ class Corpus:
     def shas(self) -> List[str]:
         return sorted(self._entries)
 
+    def genomes(self) -> List[Genome]:
+        """Entry genomes in deterministic (sha) order.
+
+        The corpus doubles as a *program source* for downstream
+        campaigns — :mod:`repro.attacksynth` replays coverage-selected
+        specimens as attack victims instead of drawing fresh ones.
+        """
+        return [entry.genome for entry in self.entries()]
+
     # -- persistence -----------------------------------------------------
 
     def save(self, root) -> Path:

@@ -1,9 +1,10 @@
 """Security analysis: closed-form bounds + Monte-Carlo experiments."""
 
-from .bounds import (PAPER_CLOCK_HZ, PAPER_MAC_BITS, SecurityReport,
-                     attack_seconds, attack_years, cfi_attack_years,
-                     expected_forgery_attempts, security_report,
-                     si_forgery_years)
+from .bounds import (EmpiricalCheck, PAPER_CLOCK_HZ, PAPER_MAC_BITS,
+                     SecurityReport, attack_seconds, attack_years,
+                     cfi_attack_years, empirical_check,
+                     expected_forgery_attempts, expected_undetected,
+                     security_report, si_forgery_years)
 from .montecarlo import (ForgeryScaling, TamperEscape, forgery_scaling,
                          forgery_trials, tamper_detection, truncated_mac)
 
@@ -11,6 +12,7 @@ __all__ = [
     "expected_forgery_attempts", "attack_seconds", "attack_years",
     "si_forgery_years", "cfi_attack_years", "security_report",
     "SecurityReport", "PAPER_MAC_BITS", "PAPER_CLOCK_HZ",
+    "EmpiricalCheck", "empirical_check", "expected_undetected",
     "truncated_mac", "forgery_trials", "forgery_scaling",
     "ForgeryScaling", "tamper_detection", "TamperEscape",
 ]

@@ -60,6 +60,55 @@ def cfi_attack_years(mac_bits: int = PAPER_MAC_BITS,
                         diversion_cycles + verify_cycles, clock_hz)
 
 
+def expected_undetected(attempts: int, mac_bits: int = PAPER_MAC_BITS) -> float:
+    """Expected number of undetected forgeries among ``attempts`` tries.
+
+    Every SI/CFI-violating attack instance is one online forgery attempt:
+    it survives only if the tampered block's run-time MAC collides with
+    the decrypted MAC words, which happens with probability ``2^-n``.
+    """
+    if attempts < 0:
+        raise ValueError("attempts must be non-negative")
+    return attempts * 2.0 ** (-mac_bits)
+
+
+@dataclass(frozen=True)
+class EmpiricalCheck:
+    """An empirical detection sweep held against the analytic bound."""
+
+    attempts: int
+    undetected: int
+    mac_bits: int
+    expected: float
+
+    @property
+    def consistent(self) -> bool:
+        """Is the observed miss count plausible under the 2^-n model?
+
+        Misses are Poisson with mean ``expected``; we accept anything up
+        to three standard deviations above it.  For any sweep this
+        reproduction can run (``attempts`` ≪ 2^64) the tolerance rounds
+        to zero — a single undetected forgery already falsifies the
+        bound, which is exactly the cross-check the campaign wants.
+        """
+        return self.undetected <= int(self.expected
+                                      + 3 * self.expected ** 0.5)
+
+    def render(self) -> str:
+        verdict = "consistent" if self.consistent else "INCONSISTENT"
+        return (f"{self.undetected}/{self.attempts} forgeries undetected "
+                f"(analytic expectation {self.expected:.3g} at "
+                f"{self.mac_bits}-bit MACs) — {verdict}")
+
+
+def empirical_check(attempts: int, undetected: int,
+                    mac_bits: int = PAPER_MAC_BITS) -> EmpiricalCheck:
+    """Cross-check an observed detection rate against §IV-A's model."""
+    return EmpiricalCheck(attempts=attempts, undetected=undetected,
+                          mac_bits=mac_bits,
+                          expected=expected_undetected(attempts, mac_bits))
+
+
 @dataclass(frozen=True)
 class SecurityReport:
     """Both paper bounds plus the parameters that produced them."""

@@ -2,7 +2,8 @@
 
 from .blocks import Block, BlockKind, EntryAssignment
 from .config import DEFAULT_CONFIG, TransformConfig
-from .encrypt import block_plain_words, seal, word_prev_pcs
+from .encrypt import (block_plain_words, chain_prev_pcs, interleave_mac,
+                      reseal_block, seal, word_prev_pcs)
 from .image import BlockRecord, SofiaImage
 from .layout import Layout, LayoutStats, build_layout
 from .transformer import (canonicalize_returns, prepare,
@@ -16,6 +17,7 @@ __all__ = [
     "Layout", "LayoutStats", "build_layout",
     "SofiaImage", "BlockRecord",
     "seal", "block_plain_words", "word_prev_pcs",
+    "interleave_mac", "chain_prev_pcs", "reseal_block",
     "transform", "prepare", "canonicalize_returns",
     "rewrite_indirect_returns",
     "verify_image", "ImageVerifier", "Finding",

@@ -42,24 +42,34 @@ def encode_block_payload(block: Block) -> List[int]:
     return words
 
 
-def block_plain_words(block: Block, keys: DeviceKeys) -> List[int]:
-    """MAC words + payload words, in block layout order (plaintext)."""
-    payload_words = encode_block_payload(block)
-    if block.kind is BlockKind.EXEC:
+def interleave_mac(kind: str, payload_words: List[int],
+                   keys: DeviceKeys) -> List[int]:
+    """MAC words + payload words in block layout order (plaintext).
+
+    The single home of the interleave scheme: ``M1 M2 p…`` for execution
+    blocks, ``M1 M1 M2 p…`` for multiplexors (the duplicated M1 provides
+    the two entry points, paper Fig. 7).
+    """
+    if kind == "exec":
         m1, m2 = mac_words(keys.exec_mac_cipher, payload_words)
         return [m1, m2] + payload_words
     m1, m2 = mac_words(keys.mux_mac_cipher, payload_words)
     return [m1, m1, m2] + payload_words
 
 
-def word_prev_pcs(block: Block, entry_prevs: List[int]) -> List[int]:
-    """prevPC used to encrypt each word of the block, in layout order."""
+def chain_prev_pcs(kind: str, base: int, total: int,
+                   entry_prevs: List[int]) -> List[int]:
+    """prevPC used to encrypt each word of a block, in layout order.
+
+    The single home of the chaining scheme: entry words use their sealed
+    inbound edge, the mux ``M2`` word always chains on ``addr(M1e2)``
+    (Fig. 8's footnote), every other word on its predecessor word.
+    """
     prevs: List[int] = []
-    total = block.kind.mac_words + block.capacity
-    if block.kind is BlockKind.EXEC:
+    if kind == "exec":
         prevs.append(entry_prevs[0])
         for j in range(1, total):
-            prevs.append(block.base + 4 * (j - 1))
+            prevs.append(base + 4 * (j - 1))
         return prevs
     if len(entry_prevs) == 1:
         # a mux block always has two sealed entries; a single entry can
@@ -67,10 +77,59 @@ def word_prev_pcs(block: Block, entry_prevs: List[int]) -> List[int]:
         raise TransformError("multiplexor block with a single entry")
     prevs.append(entry_prevs[0])          # M1e1: first predecessor
     prevs.append(entry_prevs[1])          # M1e2: second predecessor
-    prevs.append(block.base + 4)          # M2 chains on addr(M1e2), both paths
+    prevs.append(base + 4)                # M2 chains on addr(M1e2), both paths
     for j in range(3, total):
-        prevs.append(block.base + 4 * (j - 1))
+        prevs.append(base + 4 * (j - 1))
     return prevs
+
+
+def block_plain_words(block: Block, keys: DeviceKeys) -> List[int]:
+    """MAC words + payload words, in block layout order (plaintext)."""
+    return interleave_mac(block.kind.value, encode_block_payload(block),
+                          keys)
+
+
+def word_prev_pcs(block: Block, entry_prevs: List[int]) -> List[int]:
+    """prevPC used to encrypt each word of the block, in layout order."""
+    return chain_prev_pcs(block.kind.value, block.base,
+                          block.kind.mac_words + block.capacity,
+                          entry_prevs)
+
+
+def reseal_block(image: SofiaImage, record: BlockRecord,
+                 payload, keys: DeviceKeys,
+                 nonce: int = None) -> List[int]:
+    """Seal replacement ``payload`` instructions into ``record``'s slots.
+
+    This is the provider-side (or successful-forger-side) mutation hook:
+    the new payload is encoded at the block's final addresses, MACed with
+    the real block-kind key and encrypted along the block's *sealed*
+    entry edges — so the result passes MAC verification when entered the
+    way the original block was.  :mod:`repro.attacksynth` uses it to
+    model a MAC forgery that succeeded, which is what makes the
+    store-slot and single-exit hardware checks testable in isolation.
+    """
+    if not record.entry_prev_pcs:
+        raise TransformError(
+            f"block 0x{record.base:08x} has no sealed entry to forge")
+    mac_count = BlockKind(record.kind).mac_words
+    if len(payload) != record.capacity:
+        raise TransformError(
+            f"block 0x{record.base:08x} holds {record.capacity} payload "
+            f"instructions, got {len(payload)}")
+    base = record.base
+    words: List[int] = []
+    for slot, instr in enumerate(payload):
+        pc = base + 4 * (mac_count + slot)
+        words.append(encode(instr, pc))
+    plain = interleave_mac(record.kind, words, keys)
+    prevs = chain_prev_pcs(record.kind, base, len(plain),
+                           list(record.entry_prev_pcs))
+    keystream = EdgeKeystream(
+        keys.encryption_cipher,
+        image.nonce if nonce is None else nonce)
+    return [keystream.encrypt_word(word, prev, base + 4 * j)
+            for j, (word, prev) in enumerate(zip(plain, prevs))]
 
 
 def seal(layout: Layout, program: AsmProgram, keys: DeviceKeys,

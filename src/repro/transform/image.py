@@ -17,8 +17,8 @@ The byte serialization is a simple tagged container::
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import ImageError
 from .layout import LayoutStats
@@ -81,6 +81,43 @@ class SofiaImage:
         """Base address of the block containing ``address``."""
         offset = (address - self.code_base) % self.block_bytes
         return address - offset
+
+    # -- mutation hooks (the attack-synthesis surface) --------------------
+
+    def with_words(self, words: Sequence[int]) -> "SofiaImage":
+        """A copy of this image with its code section replaced.
+
+        The mutation surface of :mod:`repro.attacksynth`: an attacker
+        controls program memory word-for-word but nothing else (nonce,
+        entry and layout metadata stay, exactly like reflashing a device).
+        """
+        if len(words) != len(self.words):
+            raise ImageError(
+                f"mutated code must keep {len(self.words)} words, "
+                f"got {len(words)}")
+        return replace(self, words=list(words))
+
+    def block_words_at(self, base: int) -> List[int]:
+        """The ciphertext words of the block based at ``base``."""
+        if (base - self.code_base) % self.block_bytes:
+            raise ImageError(f"0x{base:08x} is not a block base")
+        index = (base - self.code_base) // 4
+        if not 0 <= index < len(self.words):
+            raise ImageError(f"block 0x{base:08x} outside the image")
+        return self.words[index:index + self.block_words]
+
+    def replace_block_words(self, base: int,
+                            words: Sequence[int]) -> "SofiaImage":
+        """A copy with the block at ``base`` overwritten by ``words``."""
+        self.block_words_at(base)  # validates the base
+        if len(words) != self.block_words:
+            raise ImageError(
+                f"a block is {self.block_words} words, got {len(words)}")
+        index = (base - self.code_base) // 4
+        mutated = list(self.words)
+        mutated[index:index + self.block_words] = [w & 0xFFFFFFFF
+                                                   for w in words]
+        return self.with_words(mutated)
 
     def to_bytes(self) -> bytes:
         """Serialize (without debug metadata)."""

@@ -118,6 +118,69 @@ class TestTools:
         assert "Table I" in text and "E8" in text and "E11" in text
 
 
+class TestAttackSynth:
+    def test_small_campaign_with_exports(self, tmp_path, capsys):
+        json_path = tmp_path / "synth.json"
+        csv_path = tmp_path / "synth.csv"
+        assert main(["attacksynth", "--programs", "2", "--seed", "11",
+                     "--export", str(json_path),
+                     "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Attack synthesis (E16)" in out
+        assert "SOFIA misses      0" in out
+        assert "consistent" in out
+        assert json_path.is_file()
+        assert csv_path.read_text().startswith("family,target,")
+
+    def test_jobs_determinism(self, tmp_path, capsys):
+        paths = {}
+        for jobs in ("1", "4"):
+            paths[jobs] = (tmp_path / f"j{jobs}.json",
+                           tmp_path / f"c{jobs}.csv")
+            assert main(["attacksynth", "--programs", "3", "--seed", "11",
+                         "--jobs", jobs,
+                         "--export", str(paths[jobs][0]),
+                         "--csv", str(paths[jobs][1])]) == 0
+        capsys.readouterr()
+        assert paths["1"][0].read_bytes() == paths["4"][0].read_bytes()
+        assert paths["1"][1].read_bytes() == paths["4"][1].read_bytes()
+
+    def test_zero_programs_is_an_error(self, capsys):
+        assert main(["attacksynth", "--programs", "0"]) == 2
+        assert "no attack instances" in capsys.readouterr().err
+
+    def test_zero_per_program_budget_is_an_error(self, capsys):
+        assert main(["attacksynth", "--programs", "2",
+                     "--per-program", "0"]) == 2
+        assert "no attack instances" in capsys.readouterr().err
+
+    def test_corrupt_image_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sofia"
+        bad.write_bytes(b"not a sofia image")
+        assert main(["attacksynth", "--image", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_image_file(self, capsys):
+        assert main(["attacksynth", "--image", "/nonexistent.sofia"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_image_mode_rejects_campaign_flags(self, capsys):
+        assert main(["attacksynth", "--image", "x.sofia",
+                     "--baselines", "--jobs", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "--baselines" in err and "--jobs" in err
+
+    def test_image_mode_observational(self, asm_file, tmp_path, capsys):
+        image_path = str(tmp_path / "prog.sofia")
+        assert main(["protect", asm_file, "-o", image_path,
+                     "--seed", "5"]) == 0
+        capsys.readouterr()
+        assert main(["attacksynth", "--image", image_path,
+                     "--key-seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "source: image" in out and "unknown" in out
+
+
 class TestFuzz:
     def test_fuzz_clean_campaign(self, tmp_path, capsys):
         corpus = tmp_path / "corpus"
