@@ -39,8 +39,8 @@ from ..runner.cache import DEFAULT_KEY_SEED
 from ..security.bounds import EmpiricalCheck, empirical_check
 from ..sim.sofia import SofiaMachine
 from ..sim.vanilla import VanillaMachine
-from ..transform.config import TransformConfig
 from ..transform.image import SofiaImage
+from ..transform.profile import DEFAULT_PROFILE, ProtectionProfile
 from ..transform.transformer import transform
 from .classify import (PLAIN_BUDGET, SOFIA_BUDGET, observables,
                        run_plain_instance, run_sofia_instance)
@@ -60,13 +60,16 @@ _WORKER_CTX: Optional[tuple] = None
 
 def _init_synth_worker(key_seed: int, campaign_seed: int,
                        per_program: Optional[int],
-                       include_baselines: bool) -> None:
+                       include_baselines: bool,
+                       profile: ProtectionProfile) -> None:
     global _WORKER_CTX
-    keys = DeviceKeys.from_seed(key_seed)
+    # provision the device for the campaign's design point: the keys
+    # bind to the profile's cipher exactly as a manufactured device would
+    keys = DeviceKeys.from_seed(key_seed).for_profile(profile)
     xor_key = derive_key(key_seed, "xor-isr") & 0xFFFFFFFF
     ecb_key = derive_key(key_seed, "ecb-isr")
     _WORKER_CTX = (keys, key_seed, campaign_seed, per_program,
-                   include_baselines, xor_key, ecb_key)
+                   include_baselines, xor_key, ecb_key, profile)
 
 
 def _clean_sofia(image: SofiaImage, keys: DeviceKeys):
@@ -102,16 +105,16 @@ def _sofia_instance_result(instance, image: SofiaImage, keys: DeviceKeys,
 def _synth_task(task: Tuple[int, Genome]) -> ProgramOutcome:
     """Worker: build one program, enumerate and run all its attacks."""
     (keys, key_seed, campaign_seed, per_program,
-     include_baselines, xor_key, ecb_key) = _WORKER_CTX
+     include_baselines, xor_key, ecb_key, profile) = _WORKER_CTX
     index, genome = task
     outcome = ProgramOutcome(index=index,
                              label=_program_label(index, genome))
     try:
         program = build_program(generate(genome))
         exe = assemble(program)
-        image = transform(program, keys, nonce=genome.nonce,
-                          config=TransformConfig(
-                              block_words=genome.block_words))
+        image = transform(
+            program, keys, nonce=genome.nonce,
+            profile=profile.with_block_words(genome.block_words))
     except ReproError as exc:
         outcome.build_error = f"{type(exc).__name__}: {exc}"
         return outcome
@@ -175,6 +178,9 @@ class SynthReport:
     source: str                       # "generated" | "corpus" | "image"
     per_program: Optional[int]
     include_baselines: bool
+    #: the design point the victims were sealed under; the §IV-A bound
+    #: cross-check uses its actual mac_bits, not the paper constant
+    profile: ProtectionProfile = DEFAULT_PROFILE
     programs: List[ProgramOutcome] = field(default_factory=list)
     elapsed_seconds: float = 0.0
 
@@ -252,9 +258,16 @@ class SynthReport:
         return applicable, successes
 
     def bounds(self) -> EmpiricalCheck:
-        """Empirical detection rate vs the §IV-A forgery bound."""
+        """Empirical detection rate vs the §IV-A forgery bound.
+
+        The analytic expectation is ``attempts * 2^-n`` at the
+        *profile's* seal width: a truncated 32-bit campaign has a small
+        but nonzero expected-collision count, a widened 96-bit one an
+        even smaller one than the paper's 64-bit point.
+        """
         attempts = self.expected_counts()[EXPECT_DETECTED]
-        return empirical_check(attempts, len(self.missed))
+        return empirical_check(attempts, len(self.missed),
+                               mac_bits=self.profile.mac_bits)
 
     # -- presentation ----------------------------------------------------
 
@@ -272,6 +285,7 @@ class SynthReport:
                 "per_program": self.per_program,
                 "baselines": self.include_baselines,
                 "programs": len(self.programs),
+                "profile": self.profile.label,
             },
             "instances": self.instances,
             "expected": expected,
@@ -304,7 +318,7 @@ class SynthReport:
         lines = [
             "Attack synthesis (E16)",
             f"  programs    {len(self.programs)}  (source: {self.source}, "
-            f"seed {self.seed:#x})",
+            f"seed {self.seed:#x}, profile {self.profile.label})",
             f"  instances   {self.instances}  "
             f"(expect detected {expected[EXPECT_DETECTED]}, "
             f"benign {expected[EXPECT_BENIGN]}, "
@@ -352,18 +366,26 @@ def run_attacksynth(programs: int = DEFAULT_PROGRAMS, *,
                     corpus_dir=None,
                     include_baselines: bool = False,
                     key_seed: int = DEFAULT_KEY_SEED,
+                    profile: Optional[ProtectionProfile] = None,
                     export_path=None, csv_path=None) -> SynthReport:
-    """Enumerate and run attacks over ``programs`` protected programs."""
+    """Enumerate and run attacks over ``programs`` protected programs.
+
+    ``profile`` seals every victim under that design point (the genome
+    still picks the block geometry); the enumerator and the §IV-A bound
+    cross-check adapt to the image's actual profile.
+    """
     started = time.perf_counter()
+    profile = profile or DEFAULT_PROFILE
     source, genomes = _campaign_genomes(programs, seed, corpus_dir)
     report = SynthReport(seed=seed, key_seed=key_seed, source=source,
                          per_program=per_program,
-                         include_baselines=include_baselines)
+                         include_baselines=include_baselines,
+                         profile=profile)
     tasks = list(enumerate(genomes))
     report.programs = run_tasks(
         _synth_task, tasks, jobs=jobs, parallel=parallel,
         initializer=_init_synth_worker,
-        initargs=(key_seed, seed, per_program, include_baselines))
+        initargs=(key_seed, seed, per_program, include_baselines, profile))
     report.elapsed_seconds = time.perf_counter() - started
     _export(report, export_path, csv_path)
     return report
@@ -380,9 +402,11 @@ def run_attacksynth_image(image: SofiaImage, *, seed: int = DEFAULT_SEED,
     what the hardware model actually did, cell by cell.
     """
     started = time.perf_counter()
-    keys = DeviceKeys.from_seed(key_seed)
+    # provision for the image's embedded design point (cipher included)
+    keys = DeviceKeys.from_seed(key_seed).for_profile(image.profile)
     report = SynthReport(seed=seed, key_seed=key_seed, source="image",
-                         per_program=per_program, include_baselines=False)
+                         per_program=per_program, include_baselines=False,
+                         profile=image.profile)
     outcome = ProgramOutcome(index=0, label="image")
     outcome.blocks = image.num_blocks
     clean = SofiaMachine(image, keys).run(max_instructions=SOFIA_BUDGET)

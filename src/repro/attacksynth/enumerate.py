@@ -51,7 +51,6 @@ from ..isa.encoding import decode, encode
 from ..isa.instructions import Instruction, make_nop
 from ..isa.program import Executable
 from ..isa.registers import SP
-from ..transform.config import TransformConfig
 from ..transform.encrypt import reseal_block
 from ..transform.image import BlockRecord, SofiaImage
 from .model import (AttackInstance, EXPECT_BENIGN, EXPECT_DETECTED,
@@ -188,8 +187,10 @@ def enumerate_instances(image: SofiaImage, exe: Executable,
     """
     quotas = dict(DEFAULT_PLAN)
     quotas.update(plan or {})
-    config = TransformConfig(block_words=image.block_words,
-                             code_base=image.code_base)
+    # every structural expectation (store slots, seal width, renonce
+    # surface) derives from the image's embedded design point
+    profile = image.profile
+    config = profile.to_config(code_base=image.code_base)
     sealed = sealed_edges(image)
     entries = block_entries(image)
     sources = cti_sources(image)
@@ -273,25 +274,28 @@ def enumerate_instances(image: SofiaImage, exe: Executable,
             instances.append(instance)
 
     # -- stale-nonce replay across renonce epochs -------------------------
-    new_nonce = image.nonce % 0xFFFF + 1
+    # the cross-epoch surface only exists when the deployment rotates its
+    # nonce; a fixed-nonce profile has no old-epoch ciphertext to replay
     entry_base = image.block_base_of(image.entry)
+    if profile.supports_renonce:
+        new_nonce = profile.next_nonce(image.nonce)
 
-    def stale_instance(victim: int, expected: str,
-                       suffix: str) -> AttackInstance:
-        return AttackInstance(
-            family="stale-nonce", name=f"stale{suffix}-{victim:06x}",
-            description=(f"after renonce to ω=0x{new_nonce:04x}, replay "
-                         f"epoch-ω=0x{image.nonce:04x} ciphertext of "
-                         f"block 0x{victim:08x}"),
-            expected=expected, renonce=new_nonce,
-            writes=_image_pokes(victim, image.block_words_at(victim)),
-            plain_applicable=False)
+        def stale_instance(victim: int, expected: str,
+                           suffix: str) -> AttackInstance:
+            return AttackInstance(
+                family="stale-nonce", name=f"stale{suffix}-{victim:06x}",
+                description=(f"after renonce to ω=0x{new_nonce:04x}, replay "
+                             f"epoch-ω=0x{image.nonce:04x} ciphertext of "
+                             f"block 0x{victim:08x}"),
+                expected=expected, renonce=new_nonce,
+                writes=_image_pokes(victim, image.block_words_at(victim)),
+                plain_applicable=False)
 
-    if quotas["stale-nonce"] > 0:
-        instances.append(stale_instance(entry_base, EXPECT_DETECTED, ""))
-    for victim in _sample(rng, untraversed_bases,
-                          quotas["stale-nonce-benign"]):
-        instances.append(stale_instance(victim, EXPECT_BENIGN, "-dead"))
+        if quotas["stale-nonce"] > 0:
+            instances.append(stale_instance(entry_base, EXPECT_DETECTED, ""))
+        for victim in _sample(rng, untraversed_bases,
+                              quotas["stale-nonce-benign"]):
+            instances.append(stale_instance(victim, EXPECT_BENIGN, "-dead"))
 
     # -- plaintext gadget injection ---------------------------------------
     gadget = gadget_words()

@@ -12,16 +12,21 @@ The toolchain workflow as a developer would drive it:
 ``attack``          run the attack campaign, print the E8 matrix
 ``attacksynth``     synthesize attacks against generated programs (E16)
 ``fuzz``            coverage-guided differential fuzzing campaign (E15)
+``dse``             design-space sweep over protection profiles (E17)
 ``experiments``     regenerate paper tables/figures (E1, E2, ...)
 ``report``          write the full E1–E11 evaluation report
 ==================  ====================================================
 
 Keys are derived from ``--seed`` (a stand-in for device provisioning);
-images embed their nonce.  The ``attack`` and ``experiments`` commands
-accept ``--jobs N`` to fan their campaigns across N worker processes via
-:mod:`repro.runner` (``--jobs 0`` means one per CPU; the default of 1
-runs the bit-identical serial path).  ``run`` and ``run-protected``
-accept ``--engine {predecoded,reference}`` to pin the execution engine
+images embed their nonce and their :class:`ProtectionProfile`.
+``protect``, ``attacksynth`` and ``dse`` accept profile specs like
+``present-80:mac32:fixed`` (see :mod:`repro.dse.grid`); ``run-protected``
+provisions the device keys for the image's embedded profile.  The
+``attack``, ``experiments`` and ``dse`` commands accept ``--jobs N`` to
+fan their campaigns across N worker processes via :mod:`repro.runner`
+(``--jobs 0`` means one per CPU; the default of 1 runs the bit-identical
+serial path).  ``run`` and ``run-protected`` accept ``--engine
+{predecoded,reference}`` to pin the execution engine
 (:mod:`repro.sim.engine`); results are bit-identical either way.  Exit
 status: 0 on success, 1 on a program error (assembly/compile/transform
 failure), 2 on bad usage.
@@ -92,9 +97,26 @@ def cmd_run(args) -> int:
 def cmd_protect(args) -> int:
     program = _load_program(args.source, optimize=args.optimize)
     keys = DeviceKeys.from_seed(args.seed)
-    config = TransformConfig(block_words=args.block_words,
-                             schedule_stores=args.schedule_stores)
-    image = core.protect(program, keys, nonce=args.nonce, config=config)
+    profile = None
+    config = None
+    if args.profile is not None:
+        from .dse.grid import parse_profile_spec
+        if args.block_words != 8 or args.schedule_stores:
+            print("error: --profile already fixes the geometry; drop "
+                  "--block-words/--schedule-stores (or fold them into "
+                  "the spec as bw<N>/sched)", file=sys.stderr)
+            return 2
+        try:
+            profile = parse_profile_spec(args.profile)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        keys = keys.for_profile(profile)
+    else:
+        config = TransformConfig(block_words=args.block_words,
+                                 schedule_stores=args.schedule_stores)
+    image = core.protect(program, keys, nonce=args.nonce, config=config,
+                         profile=profile)
     findings = verify_image(image, keys)
     if findings:
         for finding in findings:
@@ -114,7 +136,10 @@ def cmd_protect(args) -> int:
 
 def cmd_run_protected(args) -> int:
     image = SofiaImage.from_bytes(Path(args.image).read_bytes())
-    keys = DeviceKeys.from_seed(args.seed)
+    # provision the device for the image's embedded design point (the
+    # cipher datapath is fixed at manufacturing; the operator running
+    # this command is the provisioner)
+    keys = DeviceKeys.from_seed(args.seed).for_profile(image.profile)
     result = core.run_protected(image, keys,
                                 max_instructions=args.max_instructions,
                                 engine=args.engine)
@@ -169,11 +194,20 @@ def cmd_attack(args) -> int:
 def cmd_attacksynth(args) -> int:
     from .attacksynth import run_attacksynth, run_attacksynth_image
     parallel, jobs = _parse_jobs(args.jobs)
+    profile = None
+    if args.profile is not None:
+        from .dse.grid import parse_profile_spec
+        try:
+            profile = parse_profile_spec(args.profile)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.image is not None:
         conflicts = [flag for flag, given in
                      (("--programs", args.programs is not None),
                       ("--corpus", args.corpus is not None),
                       ("--baselines", args.baselines),
+                      ("--profile", args.profile is not None),
                       ("--jobs", args.jobs != 1)) if given]
         if conflicts:
             print(f"error: {', '.join(conflicts)} cannot be combined "
@@ -191,7 +225,7 @@ def cmd_attacksynth(args) -> int:
             programs, seed=args.seed, per_program=args.per_program,
             parallel=parallel, jobs=jobs, corpus_dir=args.corpus,
             include_baselines=args.baselines, key_seed=args.key_seed,
-            export_path=args.export, csv_path=args.csv)
+            profile=profile, export_path=args.export, csv_path=args.csv)
     if report.instances == 0:
         for label, error in report.build_errors:
             print(f"error: {label}: {error}", file=sys.stderr)
@@ -201,6 +235,31 @@ def cmd_attacksynth(args) -> int:
         print(f"error: no attack instances enumerated ({why})",
               file=sys.stderr)
         return 2
+    print(report.render())
+    for path in (args.export, args.csv):
+        if path:
+            print(f"# wrote {path}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def cmd_dse(args) -> int:
+    from .dse import resolve_profiles, run_dse
+    parallel, jobs = _parse_jobs(args.jobs)
+    try:
+        profiles = resolve_profiles(args.profiles, args.grid)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    workloads = ([w.strip() for w in args.workloads.split(",") if w.strip()]
+                 if args.workloads else None)
+    kwargs = {}
+    if workloads:
+        kwargs["workloads"] = workloads
+    report = run_dse(profiles, seed=args.seed, key_seed=args.key_seed,
+                     scale=args.scale, programs=args.programs,
+                     per_model=args.per_model, parallel=parallel,
+                     jobs=jobs, export_path=args.export,
+                     csv_path=args.csv, **kwargs)
     print(report.render())
     for path in (args.export, args.csv):
         if path:
@@ -291,6 +350,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-words", type=int, default=8)
     p.add_argument("--schedule-stores", action="store_true",
                    help="enable the store-scheduling optimization")
+    p.add_argument("--profile", metavar="SPEC",
+                   help="full design point (e.g. present-80:mac32:fixed); "
+                        "supersedes --block-words/--schedule-stores")
     p.add_argument("-O", "--optimize", action="store_true",
                    help="enable the minicc peephole optimizer")
     p.add_argument("--list", action="store_true",
@@ -346,7 +408,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the detection matrix as CSV")
     p.add_argument("--baselines", action="store_true",
                    help="also run the XOR/ECB ISR baseline machines")
+    p.add_argument("--profile", metavar="SPEC",
+                   help="seal the victims under this design point "
+                        "(e.g. present-80:mac32:fixed)")
     p.set_defaults(func=cmd_attacksynth)
+
+    p = sub.add_parser(
+        "dse", help="design-space sweep over protection profiles (E17)")
+    p.add_argument("--profiles", metavar="SPECS",
+                   help="comma-separated design points (e.g. "
+                        "rectangle-80:mac64:sequential,present-80:mac32:"
+                        "fixed); default: the full E17 grid")
+    p.add_argument("--grid", metavar="AXES",
+                   help="cartesian grid ciphers:mac_bits:renonce"
+                        "[:block_words], e.g. rectangle-80,present-80:"
+                        "32,64,96:sequential,fixed")
+    p.add_argument("--seed", type=int, default=0xD5E17,
+                   help="campaign seed (drives every per-point campaign)")
+    p.add_argument("--key-seed", type=int, default=0x50F1A,
+                   help="device-key provisioning seed")
+    p.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "medium"),
+                   help="workload scale for the overhead suite")
+    p.add_argument("--workloads", metavar="NAMES",
+                   help="comma-separated workload suite "
+                        "(default: crc32,rle,sort)")
+    p.add_argument("--programs", type=int, default=5,
+                   help="attack-synthesis victims per design point")
+    p.add_argument("--per-model", type=int, default=3,
+                   help="fault specimens per model per design point")
+    p.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
+                   help="worker processes (0 = one per CPU, 1 = serial)")
+    p.add_argument("--export", metavar="FILE",
+                   help="write the sweep record as canonical JSON")
+    p.add_argument("--csv", metavar="FILE",
+                   help="write the Pareto table as CSV")
+    p.set_defaults(func=cmd_dse)
 
     p = sub.add_parser("fuzz",
                        help="coverage-guided differential fuzzing (E15)")

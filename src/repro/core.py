@@ -32,6 +32,7 @@ from .sim.timing import DEFAULT_TIMING, TimingParams
 from .sim.vanilla import VanillaMachine
 from .transform.config import DEFAULT_CONFIG, TransformConfig
 from .transform.image import SofiaImage
+from .transform.profile import ProtectionProfile
 from .transform.transformer import transform
 
 ProgramLike = Union[AsmProgram, CompiledProgram, str]
@@ -70,9 +71,17 @@ def link_vanilla(program: ProgramLike) -> Executable:
 
 
 def protect(program: ProgramLike, keys: DeviceKeys, nonce: int,
-            config: TransformConfig = DEFAULT_CONFIG) -> SofiaImage:
-    """Transform a program into an encrypted, MACed SOFIA image."""
-    return transform(_as_program(program), keys, nonce=nonce, config=config)
+            config: Optional[TransformConfig] = None,
+            profile: Optional[ProtectionProfile] = None) -> SofiaImage:
+    """Transform a program into an encrypted, MACed SOFIA image.
+
+    ``profile`` selects a full design point (cipher, seal width, renonce
+    policy, geometry); without one the legacy ``config`` geometry at the
+    paper's design point applies.  Passing both forwards both — the
+    transformer raises when they disagree on shared axes.
+    """
+    return transform(_as_program(program), keys, nonce=nonce, config=config,
+                     profile=profile)
 
 
 def run_vanilla(executable: Executable,

@@ -1,10 +1,13 @@
-"""Cryptographic substrate: RECTANGLE-80, CTR keystream, CBC-MAC, keys."""
+"""Cryptographic substrate: cipher registry, CTR keystream, CBC-MAC, keys."""
 
-from .cbcmac import cbc_mac, mac_words, verify
+from .cbcmac import cbc_mac, mac_stream, mac_words, verify
 from .ctr import EdgeKeystream, pack_counter
 from .keys import DeviceKeys, derive_key
 from .present import Present80
 from .rectangle import Rectangle80
+from .registry import (CIPHERS, DEFAULT_CIPHER, cipher_code,
+                       cipher_from_code, cipher_name, cipher_names,
+                       get_cipher)
 
 __all__ = [
     "Rectangle80",
@@ -12,8 +15,16 @@ __all__ = [
     "EdgeKeystream",
     "pack_counter",
     "cbc_mac",
+    "mac_stream",
     "mac_words",
     "verify",
     "DeviceKeys",
     "derive_key",
+    "CIPHERS",
+    "DEFAULT_CIPHER",
+    "get_cipher",
+    "cipher_name",
+    "cipher_names",
+    "cipher_code",
+    "cipher_from_code",
 ]

@@ -29,6 +29,31 @@ def cbc_mac(cipher: Rectangle80, words: Sequence[int], iv: int = 0) -> int:
     return state
 
 
+def mac_stream(cipher: Rectangle80, words: Sequence[int],
+               count: int, iv: int = 0) -> Tuple[int, ...]:
+    """The first ``count`` 32-bit seal words derived from the CBC-MAC.
+
+    This is the parametric-MAC-width primitive behind
+    :class:`~repro.transform.profile.ProtectionProfile`:
+
+    * ``count == 2`` is the paper's 64-bit MAC, bit-identical to
+      :func:`mac_words` (the final CBC state split MSW-first);
+    * ``count == 1`` is the truncated 32-bit seal (``M1``, the MSW);
+    * ``count > 2`` widens the seal by clocking the cipher over the
+      final state (an OFB-style output extension: each further 64-bit
+      chunk is ``E_k`` of the previous one), so every extra word costs
+      one cipher call and remains a PRF of the message.
+    """
+    if count < 1:
+        raise ValueError("MAC word count must be positive")
+    state = cbc_mac(cipher, words, iv)
+    out = list(block_to_words(state))
+    while len(out) < count:
+        state = cipher.encrypt(state)
+        out.extend(block_to_words(state))
+    return tuple(out[:count])
+
+
 def mac_words(cipher: Rectangle80, words: Sequence[int]) -> Tuple[int, int]:
     """CBC-MAC returned as the two 32-bit MAC words ``(M1, M2)``."""
     return block_to_words(cbc_mac(cipher, words))

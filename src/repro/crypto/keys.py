@@ -69,6 +69,22 @@ class DeviceKeys:
             cipher_factory=cipher_factory,
         )
 
+    def for_profile(self, profile) -> "DeviceKeys":
+        """This key set re-bound to ``profile``'s cipher.
+
+        The provisioned secrets are cipher-agnostic 80-bit values; the
+        profile (any object with a ``cipher_factory`` attribute, see
+        :class:`repro.transform.profile.ProtectionProfile`) selects which
+        datapath consumes them.  Returns ``self`` when the factory
+        already matches, so the default profile keeps the cached cipher
+        instances.
+        """
+        factory = profile.cipher_factory
+        if factory is self.cipher_factory:
+            return self
+        return DeviceKeys(k1=self.k1, k2=self.k2, k3=self.k3,
+                          cipher_factory=factory)
+
     def _cipher(self, name: str, key: int):
         cipher = self._ciphers.get(name)
         if cipher is None:

@@ -1,0 +1,314 @@
+"""The E17 design-space sweep: one campaign per profile grid point.
+
+Each task of the sweep is one :class:`ProtectionProfile` and runs, inside
+its worker, the full per-point evaluation **serially** (the grid itself is
+what fans out across processes via :mod:`repro.runner`):
+
+* the workload suite on both cores (through the per-process build cache)
+  for cycle and code-size overheads,
+* a scaled-down attack-synthesis campaign (E16 machinery) for the
+  empirical detection rate against the profile's own §IV-A expectation,
+* a fault-injection campaign (E11 machinery) for the guarantee boundary,
+* the closed-form §IV-A forgery bounds at the profile's seal width.
+
+Every per-point seed derives from the campaign seed plus the profile
+label, so the sweep is deterministic at any ``--jobs`` value and the
+JSON/CSV artifacts are byte-identical serial vs parallel (they carry no
+wall-clock or worker-count fields).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crypto.keys import DeviceKeys
+from ..errors import ReproError
+from ..eval.export import dse_csv, dse_json
+from ..eval.overhead import OverheadPoint, measure_point
+from ..faults.campaign import FaultOutcome
+from ..faults.campaign import run_campaign as run_fault_campaign
+from ..runner import DEFAULT_KEY_SEED, run_tasks, task_seed
+from ..security.bounds import cfi_attack_years, si_forgery_years
+from ..transform.profile import ProtectionProfile
+from ..workloads.base import make_workload
+from .pareto import Objectives, pareto_mask
+
+DEFAULT_SEED = 0xD5E17
+DEFAULT_WORKLOADS: Tuple[str, ...] = ("crc32", "rle", "sort")
+DEFAULT_SCALE = "tiny"
+DEFAULT_PROGRAMS = 5
+DEFAULT_PER_MODEL = 3
+
+# per-process context installed by the pool initializer
+_WORKER_CTX: Optional[tuple] = None
+
+
+@dataclass
+class DesignPointRow:
+    """Everything the sweep measured for one design point (picklable)."""
+
+    label: str
+    cipher: str
+    mac_bits: int
+    renonce: str
+    block_words: int
+    schedule_stores: bool
+    #: per-workload (workload, size_ratio, cycle_overhead) triples
+    workload_rows: List[Tuple[str, float, float]] = field(
+        default_factory=list)
+    size_ratio: float = 0.0
+    cycle_overhead: float = 0.0
+    si_years: float = 0.0
+    cfi_years: float = 0.0
+    synth_instances: int = 0
+    synth_attempts: int = 0
+    synth_undetected: int = 0
+    synth_expected: float = 0.0
+    synth_consistent: bool = True
+    synth_anomalies: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return (self.error is None and self.synth_consistent
+                and self.synth_anomalies == 0)
+
+    @property
+    def detection_rate(self) -> Optional[float]:
+        if not self.synth_attempts:
+            return None
+        return 1.0 - self.synth_undetected / self.synth_attempts
+
+    @property
+    def objectives(self) -> Objectives:
+        """(cycle_overhead min, size_ratio min, si_years max)."""
+        return (self.cycle_overhead, self.size_ratio, self.si_years)
+
+    def to_record(self) -> Dict:
+        return {
+            "profile": self.label,
+            "cipher": self.cipher,
+            "mac_bits": self.mac_bits,
+            "renonce": self.renonce,
+            "block_words": self.block_words,
+            "schedule_stores": self.schedule_stores,
+            "workloads": [
+                {"workload": name, "size_ratio": ratio,
+                 "cycle_overhead": overhead}
+                for name, ratio, overhead in self.workload_rows],
+            "size_ratio": self.size_ratio,
+            "cycle_overhead": self.cycle_overhead,
+            "si_years": self.si_years,
+            "cfi_years": self.cfi_years,
+            "attacksynth": {
+                "instances": self.synth_instances,
+                "attempts": self.synth_attempts,
+                "undetected": self.synth_undetected,
+                "expected": self.synth_expected,
+                "consistent": self.synth_consistent,
+                "anomalies": self.synth_anomalies,
+            },
+            "faults": dict(sorted(self.fault_counts.items())),
+            "error": self.error,
+        }
+
+
+def _init_dse_worker(key_seed: int, seed: int, workloads: Tuple[str, ...],
+                     scale: str, programs: int, per_model: int) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = (key_seed, seed, workloads, scale, programs, per_model)
+
+
+def _round(value: float) -> float:
+    """Stable rounding for exported floats (byte-deterministic JSON)."""
+    return round(value, 6)
+
+
+def _dse_task(task: Tuple[int, ProtectionProfile]) -> DesignPointRow:
+    """Worker: evaluate one design point end to end."""
+    key_seed, seed, workloads, scale, programs, per_model = _WORKER_CTX
+    _index, profile = task
+    row = DesignPointRow(
+        label=profile.label, cipher=profile.cipher,
+        mac_bits=profile.mac_bits, renonce=profile.renonce,
+        block_words=profile.block_words,
+        schedule_stores=profile.schedule_stores,
+        si_years=si_forgery_years(profile.mac_bits),
+        cfi_years=cfi_attack_years(profile.mac_bits))
+    try:
+        # -- workload suite: overheads at this design point ---------------
+        ratios: List[float] = []
+        overheads: List[float] = []
+        for workload in workloads:
+            measured = measure_point(OverheadPoint(
+                workload=workload, scale=scale, key_seed=key_seed,
+                profile=profile))
+            ratios.append(measured.size_ratio)
+            overheads.append(measured.cycle_overhead)
+            row.workload_rows.append(
+                (workload, _round(measured.size_ratio),
+                 _round(measured.cycle_overhead)))
+        row.size_ratio = _round(sum(ratios) / len(ratios))
+        row.cycle_overhead = _round(sum(overheads) / len(overheads))
+
+        # -- empirical detection: scaled-down attack synthesis ------------
+        # imported lazily: attacksynth pulls in the fuzz substrate, which
+        # the overhead-only callers of this module never need
+        from ..attacksynth.campaign import run_attacksynth
+        synth = run_attacksynth(
+            programs, seed=task_seed(seed, "dse-synth", profile.label),
+            key_seed=key_seed, profile=profile, parallel=False)
+        bounds = synth.bounds()
+        row.synth_instances = synth.instances
+        row.synth_attempts = bounds.attempts
+        row.synth_undetected = bounds.undetected
+        row.synth_expected = bounds.expected
+        row.synth_consistent = bounds.consistent
+        row.synth_anomalies = (
+            len(synth.missed) + len(synth.benign_anomalies)
+            + len(synth.edge_anomalies) + len(synth.plain_anomalies)
+            + len(synth.build_errors))
+
+        # -- guarantee boundary: fault campaign on the first workload -----
+        keys = DeviceKeys.from_seed(key_seed).for_profile(profile)
+        victim = make_workload(workloads[0], scale)
+        _results, summary = run_fault_campaign(
+            victim.compile().program, keys, victim.expected_output,
+            per_model=per_model,
+            seed=task_seed(seed, "dse-fault", profile.label),
+            profile=profile, parallel=False)
+        totals = {outcome.value: 0 for outcome in FaultOutcome}
+        for per_model_counts in summary.counts.values():
+            for outcome, count in per_model_counts.items():
+                totals[outcome.value] += count
+        row.fault_counts = totals
+    except (ReproError, AssertionError, ValueError) as exc:
+        row.error = f"{type(exc).__name__}: {exc}"
+    return row
+
+
+@dataclass
+class DseReport:
+    """The whole sweep, with the Pareto front computed over its points."""
+
+    seed: int
+    key_seed: int
+    scale: str
+    workloads: Tuple[str, ...]
+    programs: int
+    per_model: int
+    points: List[DesignPointRow] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.points) and all(p.ok for p in self.points)
+
+    def pareto_labels(self) -> List[str]:
+        """Labels of the non-dominated design points, in sweep order."""
+        measured = [p for p in self.points if p.error is None]
+        mask = pareto_mask([p.objectives for p in measured])
+        return [p.label for p, keep in zip(measured, mask) if keep]
+
+    def to_record(self) -> Dict:
+        """Canonical JSON document (wall-clock- and jobs-free)."""
+        return {
+            "experiment": "E17",
+            "campaign": "dse",
+            "parameters": {
+                "seed": self.seed,
+                "key_seed": self.key_seed,
+                "scale": self.scale,
+                "workloads": list(self.workloads),
+                "programs": self.programs,
+                "per_model": self.per_model,
+            },
+            "points": [p.to_record() for p in self.points],
+            "pareto": self.pareto_labels(),
+        }
+
+    def csv_rows(self) -> List[Dict]:
+        pareto = set(self.pareto_labels())
+        rows = []
+        for p in self.points:
+            rate = p.detection_rate
+            rows.append({
+                "profile": p.label, "cipher": p.cipher,
+                "mac_bits": p.mac_bits, "renonce": p.renonce,
+                "block_words": p.block_words,
+                "schedule_stores": int(p.schedule_stores),
+                "size_ratio": p.size_ratio,
+                "cycle_overhead": p.cycle_overhead,
+                "si_years": p.si_years,
+                "cfi_years": p.cfi_years,
+                "synth_attempts": p.synth_attempts,
+                "synth_undetected": p.synth_undetected,
+                "detection_rate": "" if rate is None else _round(rate),
+                "expected_collisions": p.synth_expected,
+                "consistent": int(p.synth_consistent),
+                "fault_detected": p.fault_counts.get("detected", 0),
+                "fault_sdc": p.fault_counts.get("sdc", 0),
+                "pareto": int(p.label in pareto),
+                "error": p.error or "",
+            })
+        return rows
+
+    def render(self) -> str:
+        pareto = set(self.pareto_labels())
+        header = (f"{'profile':<38s} {'cyc ovh':>8s} {'size':>6s} "
+                  f"{'forgery bound':>14s} {'det rate':>9s} "
+                  f"{'faults det/sdc':>14s}  pareto")
+        lines = [
+            f"Design-space sweep (E17): {len(self.points)} points, "
+            f"seed {self.seed:#x}",
+            header, "-" * len(header)]
+        for p in self.points:
+            if p.error is not None:
+                lines.append(f"{p.label:<38s} ERROR {p.error}")
+                continue
+            rate = p.detection_rate
+            lines.append(
+                f"{p.label:<38s} {p.cycle_overhead:>+7.1%} "
+                f"{p.size_ratio:>5.2f}x {p.si_years:>12.3g}y "
+                f"{'n/a' if rate is None else format(rate, '.4f'):>9s} "
+                f"{p.fault_counts.get('detected', 0):>7d}/"
+                f"{p.fault_counts.get('sdc', 0):<6d} "
+                f"{'*' if p.label in pareto else ''}")
+        lines.append("")
+        lines.append(f"  Pareto front: {', '.join(sorted(pareto))}")
+        return "\n".join(lines)
+
+
+def run_dse(profiles: Sequence[ProtectionProfile], *,
+            seed: int = DEFAULT_SEED,
+            key_seed: int = DEFAULT_KEY_SEED,
+            workloads: Sequence[str] = DEFAULT_WORKLOADS,
+            scale: str = DEFAULT_SCALE,
+            programs: int = DEFAULT_PROGRAMS,
+            per_model: int = DEFAULT_PER_MODEL,
+            parallel: bool = False, jobs: Optional[int] = None,
+            export_path=None, csv_path=None) -> DseReport:
+    """Sweep the profile list; one runner task per design point."""
+    if not profiles:
+        raise ValueError("the sweep needs at least one profile")
+    if not workloads:
+        raise ValueError("the sweep needs at least one workload")
+    started = time.perf_counter()
+    report = DseReport(seed=seed, key_seed=key_seed, scale=scale,
+                       workloads=tuple(workloads), programs=programs,
+                       per_model=per_model)
+    tasks = list(enumerate(profiles))
+    report.points = run_tasks(
+        _dse_task, tasks, jobs=jobs, parallel=parallel,
+        initializer=_init_dse_worker,
+        initargs=(key_seed, seed, tuple(workloads), scale, programs,
+                  per_model))
+    report.elapsed_seconds = time.perf_counter() - started
+    if export_path is not None:
+        dse_json(report.to_record(), export_path)
+    if csv_path is not None:
+        dse_csv(report.csv_rows(), csv_path)
+    return report

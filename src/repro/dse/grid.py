@@ -1,0 +1,104 @@
+"""Profile-grid construction and CLI spec parsing for the E17 sweep.
+
+Two spec languages, both tiny and both round-tripping through
+``ProtectionProfile.label``:
+
+* **profile spec** — one design point as colon-separated tokens in any
+  order: a registered cipher name, ``mac<bits>``, a renonce policy,
+  optionally ``bw<N>`` and ``sched``.  ``rectangle-80/mac64/sequential``
+  (a label) parses too, so a label printed by any report can be fed
+  straight back to ``--profiles``.
+* **grid spec** — cartesian axes separated by ``:``, values by ``,``:
+  ``<ciphers>:<mac_bits>:<renonce>[:<block_words>]``, e.g.
+  ``rectangle-80,present-80:32,64:sequential,fixed``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..crypto.registry import cipher_names
+from ..transform.profile import (ProtectionProfile, RENONCE_POLICIES,
+                                 profile_grid)
+
+_MAC_RE = re.compile(r"^mac(\d+)$")
+_BW_RE = re.compile(r"^bw(\d+)$")
+
+
+def parse_profile_spec(spec: str) -> ProtectionProfile:
+    """Parse one design-point spec (or a profile label) into a profile."""
+    fields = {}
+    for token in re.split(r"[:/]", spec.strip()):
+        token = token.strip()
+        if not token:
+            continue
+        mac = _MAC_RE.match(token)
+        bw = _BW_RE.match(token)
+        if token in cipher_names():
+            fields["cipher"] = token
+        elif mac:
+            bits = int(mac.group(1))
+            if bits % 32:
+                raise ValueError(
+                    f"mac width must be a multiple of 32 bits, got {bits}")
+            fields["mac_words"] = bits // 32
+        elif token in RENONCE_POLICIES:
+            fields["renonce"] = token
+        elif bw:
+            fields["block_words"] = int(bw.group(1))
+        elif token == "sched":
+            fields["schedule_stores"] = True
+        else:
+            raise ValueError(
+                f"unknown profile token {token!r} in {spec!r} (expected a "
+                f"cipher {cipher_names()}, mac<bits>, a renonce policy "
+                f"{list(RENONCE_POLICIES)}, bw<N> or sched)")
+    return ProtectionProfile(**fields)
+
+
+def parse_profiles(specs: str) -> List[ProtectionProfile]:
+    """Parse a comma-separated list of profile specs.
+
+    Commas separate *profiles* here; within one profile the tokens are
+    colon- or slash-separated (labels use slashes).
+    """
+    profiles = [parse_profile_spec(part) for part in specs.split(",")
+                if part.strip()]
+    if not profiles:
+        raise ValueError("empty profile list")
+    return profiles
+
+
+def parse_grid(spec: str) -> List[ProtectionProfile]:
+    """Parse a cartesian grid spec into its profile list."""
+    axes = [axis.strip() for axis in spec.split(":")]
+    if len(axes) < 3 or len(axes) > 4:
+        raise ValueError(
+            f"grid spec needs 3 or 4 axes "
+            f"(ciphers:mac_bits:renonce[:block_words]), got {len(axes)}")
+    ciphers = [c.strip() for c in axes[0].split(",") if c.strip()]
+    mac_bits = [int(b) for b in axes[1].split(",") if b.strip()]
+    renonce = [r.strip() for r in axes[2].split(",") if r.strip()]
+    block_words = ([int(b) for b in axes[3].split(",") if b.strip()]
+                   if len(axes) == 4 else [8])
+    return profile_grid(ciphers=ciphers, mac_bits=mac_bits,
+                        renonce=renonce, block_words=block_words)
+
+
+def default_grid() -> List[ProtectionProfile]:
+    """The E17 grid: 2 ciphers x {32,64,96}-bit seals x both policies."""
+    return profile_grid()
+
+
+def resolve_profiles(profiles: Optional[str] = None,
+                     grid: Optional[str] = None
+                     ) -> List[ProtectionProfile]:
+    """CLI argument resolution: explicit points, a grid, or the default."""
+    if profiles and grid:
+        raise ValueError("--profiles and --grid are mutually exclusive")
+    if profiles:
+        return parse_profiles(profiles)
+    if grid:
+        return parse_grid(grid)
+    return default_grid()

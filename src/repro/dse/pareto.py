@@ -1,0 +1,42 @@
+"""Pareto-front computation over design points (experiment E17).
+
+A design point is *dominated* when another point is at least as good on
+every objective and strictly better on at least one.  The E17 objectives:
+
+* minimize mean cycle overhead (performance cost),
+* minimize mean code-size ratio (memory cost),
+* maximize the §IV-A online-forgery bound (security).
+
+The front is computed on exact values (no tolerance): two points that tie
+on every objective dominate each other on none, so both survive — which
+is what a sweep wants when, say, two ciphers yield identical overheads at
+the same seal width.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+#: objective vector: (cycle_overhead, size_ratio, si_years)
+Objectives = Tuple[float, float, float]
+
+
+def dominates(a: Objectives, b: Objectives) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` (min, min, max order)."""
+    no_worse = (a[0] <= b[0] and a[1] <= b[1] and a[2] >= b[2])
+    strictly_better = (a[0] < b[0] or a[1] < b[1] or a[2] > b[2])
+    return no_worse and strictly_better
+
+
+def pareto_mask(points: Sequence[Objectives]) -> List[bool]:
+    """Non-domination flags, one per point, in input order."""
+    return [not any(dominates(other, point)
+                    for j, other in enumerate(points) if j != i)
+            for i, point in enumerate(points)]
+
+
+def pareto_front(points: Iterable) -> List:
+    """The non-dominated subset of objects carrying ``.objectives``."""
+    items = list(points)
+    mask = pareto_mask([item.objectives for item in items])
+    return [item for item, keep in zip(items, mask) if keep]

@@ -103,6 +103,43 @@ def attacksynth_json(record: Dict[str, Any],
     return text
 
 
+#: column order of the E17 Pareto-table CSV (one row per design point);
+#: kept here so figure tooling and the DSE campaign agree on the schema
+DSE_CSV_HEADER = (
+    "profile", "cipher", "mac_bits", "renonce", "block_words",
+    "schedule_stores", "size_ratio", "cycle_overhead", "si_years",
+    "cfi_years", "synth_attempts", "synth_undetected", "detection_rate",
+    "expected_collisions", "consistent", "fault_detected", "fault_sdc",
+    "pareto", "error")
+
+
+def dse_csv(rows: Sequence[Dict[str, Any]],
+            path: Optional[str] = None) -> str:
+    """E17 data: the design-space Pareto table, one design point per row.
+
+    ``rows`` are plain dicts keyed by :data:`DSE_CSV_HEADER` (produced by
+    ``DseReport.csv_rows`` in :mod:`repro.dse`), so this exporter stays
+    decoupled from the campaign types.
+    """
+    return _write(DSE_CSV_HEADER,
+                  [[row.get(key, "") for key in DSE_CSV_HEADER]
+                   for row in rows],
+                  path)
+
+
+def dse_json(record: Dict[str, Any], path: Optional[str] = None) -> str:
+    """E17 campaign record as canonical JSON.
+
+    Keys are sorted and no wall-clock or worker-count field is included,
+    so the same sweep parameters produce byte-identical files at any
+    ``--jobs`` value — the determinism contract the CI smoke pins.
+    """
+    text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
 def cache_csv(points: List[CachePoint],
               path: Optional[str] = None) -> str:
     """E14 data: I-cache sensitivity."""

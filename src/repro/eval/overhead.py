@@ -34,6 +34,7 @@ from ..sim.timing import DEFAULT_TIMING, TimingParams
 from ..sim.vanilla import VanillaMachine
 from ..transform.config import DEFAULT_CONFIG, TransformConfig
 from ..transform.image import SofiaImage
+from ..transform.profile import ProtectionProfile
 from ..transform.transformer import transform
 from ..workloads.base import Workload
 
@@ -106,20 +107,28 @@ def _run_both(workload: Workload, exe: Executable, image: SofiaImage,
 def measure_overhead(workload: Workload,
                      keys: Optional[DeviceKeys] = None,
                      timing: TimingParams = DEFAULT_TIMING,
-                     config: TransformConfig = DEFAULT_CONFIG,
+                     config: Optional[TransformConfig] = None,
                      nonce: int = 0x2016,
                      max_instructions: int = 50_000_000,
-                     engine: Optional[str] = None) -> OverheadRow:
+                     engine: Optional[str] = None,
+                     profile: Optional[ProtectionProfile] = None
+                     ) -> OverheadRow:
     """Compile, run on both cores, verify outputs, return the metrics.
 
     Rows are engine-independent by construction (the engines produce
     bit-identical cycle counts); ``engine`` exists so sweeps can pin the
-    reference oracle when re-validating paper numbers.
+    reference oracle when re-validating paper numbers.  ``profile``
+    measures a non-default design point and provisions the keys for its
+    cipher; passing a disagreeing ``config`` alongside it is an error
+    (the transformer enforces agreement).
     """
     keys = keys or _DEFAULT_KEYS
+    if profile is not None:
+        keys = keys.for_profile(profile)
     compiled = workload.compile()
     exe = assemble(compiled.program)
-    image = transform(compiled.program, keys, nonce=nonce, config=config)
+    image = transform(compiled.program, keys, nonce=nonce, config=config,
+                      profile=profile)
     return _run_both(workload, exe, image, keys, timing, max_instructions,
                      engine=engine)
 
@@ -143,12 +152,14 @@ class OverheadPoint:
     #: execution engine (None = the default predecoded engine); rows are
     #: bit-identical across engines, this pins one for A/B validation
     engine: Optional[str] = None
+    #: full design point; supersedes ``config`` when set (E17 sweeps)
+    profile: Optional[ProtectionProfile] = None
 
     @property
     def build_spec(self) -> BuildSpec:
         return BuildSpec(workload=self.workload, scale=self.scale,
                          key_seed=self.key_seed, nonce=self.nonce,
-                         config=self.config)
+                         config=self.config, profile=self.profile)
 
 
 def measure_point(point: OverheadPoint) -> OverheadRow:

@@ -193,7 +193,8 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
                  max_instructions: int = 2_000_000,
                  rng: Optional[random.Random] = None,
                  parallel: bool = False, jobs: Optional[int] = None,
-                 export_path=None, engine: Optional[str] = None
+                 export_path=None, engine: Optional[str] = None,
+                 profile=None
                  ) -> "tuple[List[FaultResult], CampaignSummary]":
     """Full campaign on one program; returns per-fault results + summary.
 
@@ -205,7 +206,9 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
     writes the campaign's parameters and per-specimen results as JSON.
     """
     started = time.perf_counter()
-    image = transform(program, keys, nonce=nonce)
+    if profile is not None:
+        keys = keys.for_profile(profile)
+    image = transform(program, keys, nonce=nonce, profile=profile)
     baseline = SofiaMachine(image, keys, engine=engine).run(max_instructions)
     if list(baseline.output_ints) != list(golden_output) or not baseline.ok:
         raise AssertionError(

@@ -20,13 +20,14 @@ with :func:`clear_build_cache`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..crypto.keys import DeviceKeys
 from ..isa.assembler import assemble
 from ..isa.program import Executable
 from ..transform.config import DEFAULT_CONFIG, TransformConfig
 from ..transform.image import SofiaImage
+from ..transform.profile import ProtectionProfile
 from ..transform.transformer import transform
 from ..workloads.base import Workload, make_workload
 
@@ -43,6 +44,9 @@ class BuildSpec:
     key_seed: int = DEFAULT_KEY_SEED
     nonce: int = 0x2016
     config: TransformConfig = DEFAULT_CONFIG
+    #: full design point (cipher/MAC width/renonce); ``None`` keeps the
+    #: legacy config-only build, so existing specs hash identically
+    profile: Optional[ProtectionProfile] = None
 
 
 @dataclass
@@ -94,14 +98,24 @@ class BuildCache:
 
     def protected(self, spec: BuildSpec) -> Tuple[Workload, Executable,
                                                   SofiaImage, DeviceKeys]:
-        """The fully protected build for ``spec`` (memoized per stage)."""
+        """The fully protected build for ``spec`` (memoized per stage).
+
+        When the spec carries a :class:`ProtectionProfile` it supersedes
+        the legacy ``config`` field entirely (the profile implies its
+        config), and the returned keys are provisioned for the profile's
+        cipher.
+        """
         instance, exe = self.compiled(spec.workload, spec.scale)
         keys = self.keys_for(spec.key_seed)
+        if spec.profile is not None:
+            keys = keys.for_profile(spec.profile)
         image = self._images.get(spec)
         if image is None:
             self.stats.image_misses += 1
-            image = transform(instance.compile().program, keys,
-                              nonce=spec.nonce, config=spec.config)
+            image = transform(
+                instance.compile().program, keys, nonce=spec.nonce,
+                config=spec.config if spec.profile is None else None,
+                profile=spec.profile)
             self._images[spec] = image
         else:
             self.stats.image_hits += 1

@@ -25,13 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..crypto.cbcmac import mac_words
 from ..crypto.ctr import EdgeKeystream
 from ..crypto.keys import DeviceKeys
 from ..errors import DecodingError, SimulationError
 from ..isa.encoding import decode
 from ..isa.instructions import Instruction
-from ..transform.config import RESET_PREV_PC, TransformConfig
+from ..transform.config import RESET_PREV_PC
+from ..transform.encrypt import unseal_block
 from ..transform.image import SofiaImage
 from .cache import DirectMappedCache
 from .core import CPUState, execute
@@ -65,8 +65,22 @@ class SofiaMachine:
     def __init__(self, image: SofiaImage, keys: DeviceKeys,
                  timing: TimingParams = DEFAULT_TIMING,
                  memoize: bool = True,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 profile=None) -> None:
         self.image = image
+        #: the design point every structural front-end check derives
+        #: from (seal width, geometry, store slots) — never module
+        #: constants.  Pass ``profile`` to model strict hardware whose
+        #: check parameters are fused at provisioning; by default it is
+        #: read from the image header, which models the paper's
+        #: boot-configuration convention (ω lives in the binary too) but
+        #: means a header tamper can *downgrade* the seal width — see
+        #: DESIGN.md "Threat model and known limits".  The *cipher* is
+        #: never taken from the image either way: the datapath is
+        #: physical device hardware, so it comes with the provisioned
+        #: ``keys`` (bind them with ``keys.for_profile(profile)`` when
+        #: the device is provisioned for a design point).
+        self.profile = profile if profile is not None else image.profile
         self.keys = keys
         self.timing = timing
         self.memoize = memoize
@@ -75,11 +89,11 @@ class SofiaMachine:
                              data=image.data, data_base=image.data_base)
         self.icache = DirectMappedCache(timing.icache_lines,
                                         timing.icache_line_words)
-        self.keystream = EdgeKeystream(keys.encryption_cipher, image.nonce)
+        self.keystream = EdgeKeystream(self.keys.encryption_cipher,
+                                       image.nonce)
         self.state = CPUState.reset(image.entry)
         self.prev_pc = RESET_PREV_PC
-        self._config = TransformConfig(block_words=image.block_words,
-                                       code_base=image.code_base)
+        self._config = self.profile.to_config(code_base=image.code_base)
         self._block_cache: Dict[Tuple[int, int], _VerifiedBlock] = {}
         self.memory.add_code_listener(self._on_code_write)
         #: fault-injection hooks (see repro.faults): a glitched comparator
@@ -141,13 +155,11 @@ class SofiaMachine:
         bw = self.image.block_words
         if kind == "exec":
             word_indices = list(range(bw))
-            mac_count = 2
         elif entry_word == 0:   # path 1: fetch M1e1, skip M1e2
             word_indices = [0] + list(range(2, bw))
-            mac_count = 3
         else:                   # path 2: fetch starts at M1e2
             word_indices = list(range(1, bw))
-            mac_count = 3
+        mac_words_count = self.profile.mac_count(kind)
 
         addresses = []
         ciphertext = []
@@ -178,29 +190,23 @@ class SofiaMachine:
             plaintext.append(self.keystream.decrypt_word(
                 ciphertext[position], prev, address))
 
-        if kind == "exec":
-            m1_dec, m2_dec = plaintext[0], plaintext[1]
-            payload_words = plaintext[2:]
-            mac_cipher = self.keys.exec_mac_cipher
-            mac_slots = 2
-        else:
-            m1_dec, m2_dec = plaintext[0], plaintext[1]
-            payload_words = plaintext[2:]
-            mac_cipher = self.keys.mux_mac_cipher
-            mac_slots = 2  # entry M1 copy + M2 occupy fetch slots
-
-        expected = mac_words(mac_cipher, payload_words)
-        if expected != (m1_dec, m2_dec) and not force_accept:
+        # in fetch order both block kinds present the stored seal first
+        # (the entry's M1 copy, then M2..Mw), so the unseal split is
+        # uniform; mac_slots counts the seal words occupying fetch slots.
+        payload_words, stored, expected = unseal_block(
+            kind, plaintext, self.keys, self.profile.mac_words)
+        mac_slots = self.profile.mac_words
+        if expected != stored and not force_accept:
+            run_hex = "".join(f"{w:08x}" for w in expected)
+            stored_hex = "".join(f"{w:08x}" for w in stored)
             violation = ViolationRecord(
                 "integrity", entry_pc, prev_pc,
-                f"run-time MAC {expected[0]:08x}{expected[1]:08x} != stored "
-                f"{m1_dec:08x}{m2_dec:08x}")
+                f"run-time MAC {run_hex} != stored {stored_hex}")
             return _VerifiedBlock(ok=False, base=base, kind=kind,
                                   fetch_addresses=tuple(addresses),
                                   mac_slots=mac_slots, violation=violation)
 
         # decode the verified payload
-        mac_words_count = 2 if kind == "exec" else 3
         capacity = bw - mac_words_count
         payload: List[Tuple[Instruction, int, int]] = []
         decode_failure = None

@@ -136,8 +136,13 @@ def list_image(image: SofiaImage, keys: DeviceKeys) -> str:
         else:
             words = [0] * image.block_words
         for j in range(mac_count):
+            if record.kind == "mux":
+                # mux heads duplicate M1 as the two entry points
+                name = ("M1e1", "M1e2")[j] if j < 2 else f"M{j}"
+            else:
+                name = f"M{j + 1}"
             lines.append(f"  {record.base + 4 * j:08x}:  "
-                         f"{words[j]:08x}  ; MAC word M{min(j + 1, 2)}")
+                         f"{words[j]:08x}  ; MAC word {name}")
         for slot in range(record.capacity):
             address = record.base + 4 * (mac_count + slot)
             word = words[mac_count + slot]

@@ -57,6 +57,13 @@ class BlockKind(enum.Enum):
 
     @property
     def mac_words(self) -> int:
+        """Seal words at the paper's design point (64-bit MAC).
+
+        Blocks built under a non-default
+        :class:`~repro.transform.profile.ProtectionProfile` carry their
+        actual count in :attr:`Block.mac_count`; this property is the
+        default for blocks constructed without one.
+        """
         return 2 if self is BlockKind.EXEC else 3
 
 
@@ -94,6 +101,14 @@ class Block:
     out_edge: Optional[EdgeKey] = None
     seq: int = -1
     base: int = -1
+    #: seal words at the head of this block; -1 means the paper default
+    #: for the kind (2 exec / 3 mux) — profile-driven layouts set it
+    mac_count: int = -1
+
+    @property
+    def mac_words(self) -> int:
+        """Seal words at the head of this block."""
+        return self.kind.mac_words if self.mac_count < 0 else self.mac_count
 
     def entry_address(self, slot: int) -> int:
         """Branch-target address selecting entry ``slot`` (paper §II-E)."""
@@ -117,7 +132,7 @@ class Block:
 
     def payload_word_index(self, payload_slot: int) -> int:
         """Word index of payload slot ``payload_slot`` within the block."""
-        return self.kind.mac_words + payload_slot
+        return self.mac_words + payload_slot
 
     def payload_address(self, payload_slot: int) -> int:
         return self.base + 4 * self.payload_word_index(payload_slot)
@@ -125,4 +140,4 @@ class Block:
     @property
     def last_word_address(self) -> int:
         """Address of the final word — the prevPC of every outbound edge."""
-        return self.base + 4 * (self.kind.mac_words + self.capacity - 1)
+        return self.base + 4 * (self.mac_words + self.capacity - 1)

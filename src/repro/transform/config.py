@@ -48,12 +48,23 @@ class TransformConfig:
     #: instruction in front of the store.  Off by default to keep the
     #: paper-faithful transformation; the E12 ablation measures the gain.
     schedule_stores: bool = False
+    #: seal width in 32-bit words for execution blocks (the paper's 64-bit
+    #: MAC is 2; multiplexor blocks carry one extra word, the duplicated
+    #: ``M1`` that provides their two entry points).  Set through a
+    #: :class:`~repro.transform.profile.ProtectionProfile` for the E17
+    #: design-space sweep.
+    mac_words: int = 2
 
     def __post_init__(self) -> None:
-        if self.block_words < 5:
-            # a multiplexor block needs 3 MAC words + at least a jmp slot,
-            # and an execution block needs room for a CTI.
-            raise ValueError("block_words must be at least 5")
+        if self.mac_words < 1:
+            raise ValueError("mac_words must be at least 1")
+        if self.block_words < self.mac_words + 3:
+            # a multiplexor block needs mac_words + 1 seal words plus a
+            # jmp slot, and an execution block needs room for a CTI; the
+            # paper's 2-word seal gives the familiar minimum of 5.
+            raise ValueError(
+                f"block_words must be at least {self.mac_words + 3} "
+                f"for a {32 * self.mac_words}-bit seal")
         if self.code_base % self.block_bytes:
             raise ValueError("code_base must be block aligned")
 
@@ -62,14 +73,28 @@ class TransformConfig:
         return 4 * self.block_words
 
     @property
+    def exec_mac_words(self) -> int:
+        """Seal words at the head of an execution block."""
+        return self.mac_words
+
+    @property
+    def mux_mac_words(self) -> int:
+        """Seal words at the head of a multiplexor block (M1 duplicated)."""
+        return self.mac_words + 1
+
+    def mac_count(self, kind: str) -> int:
+        """Seal words at the head of a ``kind`` ("exec"/"mux") block."""
+        return self.exec_mac_words if kind == "exec" else self.mux_mac_words
+
+    @property
     def exec_capacity(self) -> int:
-        """Instructions per execution block (2 MAC words)."""
-        return self.block_words - 2
+        """Instructions per execution block."""
+        return self.block_words - self.exec_mac_words
 
     @property
     def mux_capacity(self) -> int:
-        """Instructions per multiplexor block (3 MAC words)."""
-        return self.block_words - 3
+        """Instructions per multiplexor block."""
+        return self.block_words - self.mux_mac_words
 
     def store_forbidden_slots(self, capacity: int) -> Tuple[int, ...]:
         """Payload slots that may not hold store instructions.

@@ -10,8 +10,15 @@ the simulator's diagnostics and by the test-suite — a real device only sees
 The byte serialization is a simple tagged container::
 
     magic 'SOFI' | version u16 | nonce u16 | entry u32 | code_base u32 |
-    block_words u16 | reserved u16 | data_base u32 | n_code_words u32 |
+    block_words u16 | profile u16 | data_base u32 | n_code_words u32 |
     n_data_bytes u32 | code words (u32 BE each) | data bytes
+
+The ``profile`` field (formerly reserved, and still 0 for the paper's
+design point) packs the image's :class:`ProtectionProfile` — cipher,
+seal width, renonce policy, store scheduling — via
+``ProtectionProfile.to_code``; ``block_words`` carries the remaining
+profile axis.  Old images (reserved = 0) therefore deserialize to the
+default profile unchanged.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import ImageError
 from .layout import LayoutStats
+from .profile import ProtectionProfile
 
 MAGIC = b"SOFI"
 VERSION = 1
@@ -57,6 +65,19 @@ class SofiaImage:
     blocks: List[BlockRecord] = field(default_factory=list)
     stats: Optional[LayoutStats] = None
     symbols: Dict[str, int] = field(default_factory=dict)
+    #: the design point this image was sealed under; every consumer
+    #: (simulator, verifier, renonce tool, attack enumerator) re-derives
+    #: its checks from this, never from module constants.  ``None`` at
+    #: construction means the default profile at this block geometry.
+    profile: Optional[ProtectionProfile] = None
+
+    def __post_init__(self) -> None:
+        if self.profile is None:
+            self.profile = ProtectionProfile(block_words=self.block_words)
+        elif self.profile.block_words != self.block_words:
+            raise ImageError(
+                f"profile geometry ({self.profile.block_words} words) "
+                f"disagrees with the image ({self.block_words} words)")
 
     @property
     def code_size_bytes(self) -> int:
@@ -122,7 +143,8 @@ class SofiaImage:
     def to_bytes(self) -> bytes:
         """Serialize (without debug metadata)."""
         header = _HEADER.pack(MAGIC, VERSION, self.nonce, self.entry,
-                              self.code_base, self.block_words, 0,
+                              self.code_base, self.block_words,
+                              self.profile.to_code(),
                               self.data_base, len(self.words),
                               len(self.data))
         body = b"".join(w.to_bytes(4, "big") for w in self.words)
@@ -133,12 +155,16 @@ class SofiaImage:
         """Deserialize an image produced by :meth:`to_bytes`."""
         if len(blob) < _HEADER.size:
             raise ImageError("image too short for header")
-        (magic, version, nonce, entry, code_base, block_words, _reserved,
+        (magic, version, nonce, entry, code_base, block_words, profile_code,
          data_base, n_words, n_data) = _HEADER.unpack_from(blob)
         if magic != MAGIC:
             raise ImageError(f"bad magic {magic!r}")
         if version != VERSION:
             raise ImageError(f"unsupported image version {version}")
+        try:
+            profile = ProtectionProfile.from_code(profile_code, block_words)
+        except ValueError as exc:
+            raise ImageError(f"bad profile field: {exc}") from None
         offset = _HEADER.size
         need = offset + 4 * n_words + n_data
         if len(blob) < need:
@@ -148,4 +174,4 @@ class SofiaImage:
         data = blob[offset + 4 * n_words: need]
         return cls(words=words, code_base=code_base, nonce=nonce,
                    entry=entry, data=data, data_base=data_base,
-                   block_words=block_words)
+                   block_words=block_words, profile=profile)

@@ -178,12 +178,14 @@ class _Chunker:
             kind = (BlockKind.MUX if len(self.preds.get(leader, ())) > 1
                     else BlockKind.EXEC)
             block = Block(kind=kind, capacity=self._capacity(kind),
-                          leader=leader, labels=labels)
+                          leader=leader, labels=labels,
+                          mac_count=self.config.mac_count(kind.value))
             self.leader_blocks[leader] = block
         else:
             block = Block(kind=BlockKind.EXEC,
                           capacity=self.config.exec_capacity,
-                          labels=labels)
+                          labels=labels,
+                          mac_count=self.config.exec_mac_words)
         self._current = block
 
     def _pad(self) -> None:
@@ -294,7 +296,8 @@ def build_layout(program: AsmProgram, cfg: ControlFlowGraph,
                     else config.mux_capacity)
         payload = [make_nop()] * (capacity - 1) + [Instruction("jmp")]
         block = Block(kind=kind, capacity=capacity, payload=payload,
-                      source_indices=[None] * capacity, is_forwarder=True)
+                      source_indices=[None] * capacity, is_forwarder=True,
+                      mac_count=config.mac_count(kind.value))
         token = ("tree", fid)
         block.out_edge = (token, leader)
         forwarder_blocks[token] = block

@@ -1,0 +1,207 @@
+"""Protection profiles: the SOFIA design point as a first-class value.
+
+The paper fixes one design point — RECTANGLE-80, a 64-bit CBC-MAC packed
+as 2 (execution) / 3 (multiplexor) seal words, 8-word blocks, and §IV
+argues security and overhead *at that point*.  A
+:class:`ProtectionProfile` lifts every axis of that choice into one
+frozen, hashable value:
+
+* **cipher** — any entry of :mod:`repro.crypto.registry` (RECTANGLE-80,
+  the paper's choice, or PRESENT-80 for the cipher-agility study);
+* **mac_words** — seal width in 32-bit words: 1 (truncated 32-bit), 2
+  (the paper's 64-bit MAC) or 3 (widened 96-bit seal);
+* **renonce** — the nonce-rotation policy of the deployment:
+  ``"sequential"`` providers rotate ω on every update (the paper's
+  unique-ω requirement, enabling the cross-epoch replay surface), while
+  ``"fixed"`` deployments never re-encrypt (no renonce tooling, no
+  stale-nonce attack surface — but also no update path);
+* **schedule_stores** — the E12 store-scheduling toolchain optimization;
+* **block_words** — block geometry (the E6 ablation axis).
+
+The default profile is *exactly* the paper's design point, and images
+built with it are bit-identical to pre-profile builds: the profile
+serializes into the image header's previously-reserved u16, packed so
+the default encodes to 0 (see :meth:`to_code`).
+
+Profiles are the unit of the E17 design-space sweep (:mod:`repro.dse`):
+each grid point rebuilds the stack — keys bind to the profile's cipher
+via :meth:`repro.crypto.keys.DeviceKeys.for_profile`, the transformer
+lays out and seals per the profile's geometry and MAC width, and the
+simulator re-derives every check from the image's embedded profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Tuple
+
+from ..crypto.registry import (DEFAULT_CIPHER, cipher_code,
+                               cipher_from_code, get_cipher)
+from .config import TransformConfig
+
+#: renonce policies, in serialization-code order ("sequential" is the
+#: paper-faithful default: ω must be unique across program versions)
+RENONCE_POLICIES: Tuple[str, ...] = ("sequential", "fixed")
+
+#: supported seal widths in 32-bit words, and their header codes; code 0
+#: is the paper's 64-bit MAC so a zeroed header decodes to the default
+_MAC_CODE = {2: 0, 1: 1, 3: 2}
+_MAC_FROM_CODE = {code: words for words, code in _MAC_CODE.items()}
+
+
+@dataclass(frozen=True)
+class ProtectionProfile:
+    """One point of the SOFIA design space."""
+
+    cipher: str = DEFAULT_CIPHER
+    mac_words: int = 2
+    renonce: str = "sequential"
+    schedule_stores: bool = False
+    block_words: int = 8
+
+    def __post_init__(self) -> None:
+        get_cipher(self.cipher)  # validates the name
+        if self.mac_words not in _MAC_CODE:
+            raise ValueError(
+                f"mac_words must be one of {sorted(_MAC_CODE)} "
+                f"(32/64/96-bit seals), got {self.mac_words}")
+        if self.renonce not in RENONCE_POLICIES:
+            raise ValueError(
+                f"renonce policy must be one of {RENONCE_POLICIES}, "
+                f"got {self.renonce!r}")
+        # delegates the geometry check (block_words vs seal width)
+        self.to_config()
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def cipher_factory(self) -> type:
+        """The registered cipher class (for DeviceKeys.for_profile)."""
+        return get_cipher(self.cipher)
+
+    @property
+    def mac_bits(self) -> int:
+        """Seal width in bits — the §IV-A forgery-bound parameter."""
+        return 32 * self.mac_words
+
+    @property
+    def exec_mac_words(self) -> int:
+        return self.mac_words
+
+    @property
+    def mux_mac_words(self) -> int:
+        return self.mac_words + 1
+
+    def mac_count(self, kind: str) -> int:
+        """Seal words at the head of a ``kind`` ("exec"/"mux") block."""
+        return self.exec_mac_words if kind == "exec" else self.mux_mac_words
+
+    @property
+    def supports_renonce(self) -> bool:
+        """Does this deployment ever re-encrypt under a fresh nonce?"""
+        return self.renonce != "fixed"
+
+    def next_nonce(self, nonce: int) -> int:
+        """The successor nonce under this profile's renonce policy."""
+        if not self.supports_renonce:
+            raise ValueError(
+                "a fixed-nonce deployment never rotates its nonce")
+        return nonce % 0xFFFF + 1
+
+    def to_config(self, **overrides) -> TransformConfig:
+        """The :class:`TransformConfig` realizing this profile's layout."""
+        return TransformConfig(block_words=self.block_words,
+                               schedule_stores=self.schedule_stores,
+                               mac_words=self.mac_words, **overrides)
+
+    @classmethod
+    def from_config(cls, config: TransformConfig,
+                    cipher: str = DEFAULT_CIPHER,
+                    renonce: str = "sequential") -> "ProtectionProfile":
+        """Lift a legacy geometry-only config into a full profile."""
+        return cls(cipher=cipher, mac_words=config.mac_words,
+                   renonce=renonce,
+                   schedule_stores=config.schedule_stores,
+                   block_words=config.block_words)
+
+    def with_block_words(self, block_words: int) -> "ProtectionProfile":
+        """This profile at a different block geometry."""
+        if block_words == self.block_words:
+            return self
+        return replace(self, block_words=block_words)
+
+    @property
+    def label(self) -> str:
+        """Compact human identifier, e.g. ``rectangle-80/mac64/sequential``."""
+        parts = [self.cipher, f"mac{self.mac_bits}", self.renonce]
+        if self.block_words != 8:
+            parts.append(f"bw{self.block_words}")
+        if self.schedule_stores:
+            parts.append("sched")
+        return "/".join(parts)
+
+    # -- header (de)serialization ----------------------------------------
+    #
+    # The image header's u16 formerly-reserved field:
+    #
+    #   bits 0-2  cipher code (crypto.registry.CIPHER_CODES)
+    #   bits 3-4  seal-width code (_MAC_CODE)
+    #   bit  5    renonce policy (0 sequential, 1 fixed)
+    #   bit  6    schedule_stores
+    #
+    # The default profile packs to 0, which is what every pre-profile
+    # image carries — old images deserialize to the paper's design point.
+    # block_words travels in its own header field.
+
+    def to_code(self) -> int:
+        """Pack this profile (minus block_words) into the header u16."""
+        return (cipher_code(self.cipher)
+                | (_MAC_CODE[self.mac_words] << 3)
+                | (RENONCE_POLICIES.index(self.renonce) << 5)
+                | (int(self.schedule_stores) << 6))
+
+    @classmethod
+    def from_code(cls, code: int, block_words: int) -> "ProtectionProfile":
+        """Unpack a header u16 (inverse of :meth:`to_code`)."""
+        if code >> 7:
+            raise ValueError(f"unknown profile code 0x{code:04x}")
+        mac_code = (code >> 3) & 0x3
+        if mac_code not in _MAC_FROM_CODE:
+            raise ValueError(f"unknown seal-width code {mac_code}")
+        return cls(cipher=cipher_from_code(code & 0x7),
+                   mac_words=_MAC_FROM_CODE[mac_code],
+                   renonce=RENONCE_POLICIES[(code >> 5) & 0x1],
+                   schedule_stores=bool((code >> 6) & 0x1),
+                   block_words=block_words)
+
+
+#: the paper's design point
+DEFAULT_PROFILE = ProtectionProfile()
+
+
+def profile_grid(ciphers: Iterable[str] = ("rectangle-80", "present-80"),
+                 mac_bits: Iterable[int] = (32, 64, 96),
+                 renonce: Iterable[str] = RENONCE_POLICIES,
+                 block_words: Iterable[int] = (8,),
+                 schedule_stores: Iterable[bool] = (False,)
+                 ) -> "list[ProtectionProfile]":
+    """The cartesian profile grid, in deterministic axis order.
+
+    The default axes are the E17 sweep: 2 ciphers x {32, 64, 96}-bit
+    seals x both renonce policies = 12 design points, the paper's point
+    among them.
+    """
+    grid = []
+    for cipher in ciphers:
+        for bits in mac_bits:
+            if bits % 32:
+                raise ValueError(f"mac_bits must be a multiple of 32, "
+                                 f"got {bits}")
+            for policy in renonce:
+                for bw in block_words:
+                    for sched in schedule_stores:
+                        grid.append(ProtectionProfile(
+                            cipher=cipher, mac_words=bits // 32,
+                            renonce=policy, schedule_stores=sched,
+                            block_words=bw))
+    return grid

@@ -10,6 +10,9 @@ the paper claims.
 
 ``reencrypt`` keeps everything but the keystream: same blocks, same MACs
 (the MACs cover plaintext, which is unchanged), new ciphertext everywhere.
+``rotate_nonce`` is the policy-aware entry point: it derives the successor
+nonce from the image profile's renonce policy, and refuses on
+fixed-nonce deployments (which have no update path by construction).
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from typing import List
 from ..crypto.ctr import EdgeKeystream
 from ..crypto.keys import DeviceKeys
 from ..errors import ImageError
+from .encrypt import chain_prev_pcs
 from .image import SofiaImage
 from .verify import ImageVerifier
 
@@ -38,6 +42,7 @@ def reencrypt(image: SofiaImage, keys: DeviceKeys,
     if new_nonce == image.nonce:
         raise ImageError("the new nonce must differ from the current one")
     verifier = ImageVerifier(image, keys)
+    keys = verifier.keys  # bound to the image profile's cipher
     new_stream = EdgeKeystream(keys.encryption_cipher, new_nonce)
     words: List[int] = list(image.words)
     bw = image.block_words
@@ -46,26 +51,39 @@ def reencrypt(image: SofiaImage, keys: DeviceKeys,
             raise ImageError(
                 f"block 0x{record.base:08x} has no sealed entry")
         # recover the plaintext via the first sealed edge, then re-seal
-        # every word: entry words under their respective edges, the rest
-        # along the canonical chain.
+        # every word along the canonical chain (chain_prev_pcs is the
+        # single home of the per-word prevPC scheme).
         plain_primary = verifier._decrypt_block(record, 0,
                                                 record.entry_prev_pcs[0])
         base = record.base
         base_index = (base - image.code_base) // 4
         if record.kind == "exec":
-            prevs = [record.entry_prev_pcs[0]] + [
-                base + 4 * (j - 1) for j in range(1, bw)]
             plaintext = plain_primary
         else:
             # path-1 decryption leaves index 1 (M1e2) unrecovered; it is a
             # copy of M1, so take it from index 0.
             plaintext = list(plain_primary)
             plaintext[1] = plain_primary[0]
-            prevs = ([record.entry_prev_pcs[0], record.entry_prev_pcs[1],
-                      base + 4] + [base + 4 * (j - 1)
-                                   for j in range(3, bw)])
+        prevs = chain_prev_pcs(record.kind, base, bw,
+                               list(record.entry_prev_pcs))
         for j in range(bw):
             address = base + 4 * j
             words[base_index + j] = new_stream.encrypt_word(
                 plaintext[j], prevs[j], address)
     return replace(image, words=words, nonce=new_nonce)
+
+
+def rotate_nonce(image: SofiaImage, keys: DeviceKeys) -> SofiaImage:
+    """Re-encrypt under the profile's successor nonce (the update path).
+
+    Raises :class:`ImageError` for fixed-nonce profiles: such a
+    deployment has no renonce tooling, which is precisely what removes
+    its cross-epoch replay surface (and its update path) in the E17
+    design-space comparison.
+    """
+    profile = image.profile
+    if not profile.supports_renonce:
+        raise ImageError(
+            f"profile {profile.label} is a fixed-nonce deployment; "
+            f"it has no renonce path")
+    return reencrypt(image, keys, profile.next_nonce(image.nonce))

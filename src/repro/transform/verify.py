@@ -22,12 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..crypto.cbcmac import mac_words
 from ..crypto.ctr import EdgeKeystream
 from ..crypto.keys import DeviceKeys
 from ..errors import DecodingError
 from ..isa.encoding import decode
-from .config import TransformConfig
+from .encrypt import unseal_block
 from .image import BlockRecord, SofiaImage
 
 
@@ -51,10 +50,11 @@ class ImageVerifier:
             raise ValueError(
                 "the verifier needs the transformer's block metadata")
         self.image = image
-        self.keys = keys
-        self.keystream = EdgeKeystream(keys.encryption_cipher, image.nonce)
-        self.config = TransformConfig(block_words=image.block_words,
-                                      code_base=image.code_base)
+        self.profile = image.profile
+        self.keys = keys.for_profile(self.profile)
+        self.keystream = EdgeKeystream(self.keys.encryption_cipher,
+                                       image.nonce)
+        self.config = self.profile.to_config(code_base=image.code_base)
         self._records: Dict[int, BlockRecord] = {
             record.base: record for record in image.blocks}
 
@@ -86,17 +86,17 @@ class ImageVerifier:
 
     def _verify_block_edges(self, record: BlockRecord) -> List[Finding]:
         findings = []
-        bw = self.image.block_words
-        mac_count = 2 if record.kind == "exec" else 3
-        mac_cipher = (self.keys.exec_mac_cipher if record.kind == "exec"
-                      else self.keys.mux_mac_cipher)
         for slot, prev_pc in enumerate(record.entry_prev_pcs):
             words = self._decrypt_block(record, slot, prev_pc)
-            payload = words[mac_count:bw]
-            # the M1 copy consumed by this entry, and the shared M2
-            m1 = words[0] if record.kind == "exec" else words[slot]
-            m2 = words[1] if record.kind == "exec" else words[2]
-            if mac_words(mac_cipher, payload) != (m1, m2):
+            # fetch order: the entry's M1 copy first, then everything
+            # after the M1 pair (for exec blocks that is simply all words)
+            if record.kind == "exec":
+                fetched = words
+            else:
+                fetched = [words[slot]] + words[2:]
+            _payload, stored, computed = unseal_block(
+                record.kind, fetched, self.keys, self.profile.mac_words)
+            if stored != computed:
                 findings.append(Finding(
                     "mac", record.base,
                     f"entry slot {slot} (prevPC=0x{prev_pc:08x}) fails "

@@ -29,6 +29,7 @@ from repro.runner import task_rng
 from repro.sim.result import Status
 from repro.sim.sofia import SofiaMachine
 from repro.transform.encrypt import reseal_block
+from repro.transform.profile import ProtectionProfile
 from repro.transform.transformer import transform
 
 KEY_SEED = 0x50F1A
@@ -312,3 +313,61 @@ class TestCampaign:
         matrix.observe("bend", TARGET_SOFIA, OBS_DETECTED, hijacked=False)
         rows = matrix.csv_rows()
         assert rows and set(ATTACKSYNTH_CSV_HEADER) == set(rows[0])
+
+
+class TestProfileAwareCampaigns:
+    """E17 satellite: expected detection follows the image's real profile."""
+
+    def test_truncated_seal_has_nonzero_expected_collisions(self):
+        """Regression: the 32-bit profile's §IV-A expectation is small
+        but *nonzero* — pinning that the bound cross-check reads the
+        profile's mac_bits, not the 64-bit module constant."""
+        profile = ProtectionProfile(mac_words=1)
+        report = run_attacksynth(programs=2, seed=21, profile=profile)
+        assert report.ok, report.render()
+        bounds = report.bounds()
+        assert bounds.mac_bits == 32
+        assert bounds.attempts > 0
+        assert bounds.expected == bounds.attempts * 2.0 ** -32
+        assert bounds.expected > 0.0
+        assert bounds.consistent  # 0 observed misses is within 3 sigma
+        # the default-profile expectation at the same attempt count is
+        # 2^32 times smaller — the constants genuinely diverged
+        default = run_attacksynth(programs=2, seed=21)
+        assert default.bounds().mac_bits == 64
+        assert bounds.expected > default.bounds().expected
+
+    def test_victims_are_sealed_under_the_campaign_profile(self, tmp_path):
+        profile = ProtectionProfile(cipher="present-80", mac_words=1)
+        export = tmp_path / "synth32.json"
+        report = run_attacksynth(programs=2, seed=21, profile=profile,
+                                 export_path=str(export))
+        assert report.ok, report.render()
+        record = json.loads(export.read_text())
+        assert record["parameters"]["profile"] == profile.label
+        assert record["bounds"]["mac_bits"] == 32
+
+    def test_fixed_nonce_profile_enumerates_no_stale_replay(self):
+        fixed = run_attacksynth(
+            programs=2, seed=21,
+            profile=ProtectionProfile(renonce="fixed"))
+        assert fixed.ok, fixed.render()
+        families = {result.family for program in fixed.programs
+                    for result in program.instances}
+        assert "stale-nonce" not in families
+        rotating = run_attacksynth(programs=2, seed=21)
+        rotating_families = {result.family
+                            for program in rotating.programs
+                            for result in program.instances}
+        assert "stale-nonce" in rotating_families
+
+    def test_image_mode_reads_the_embedded_profile(self, tmp_path):
+        profile = ProtectionProfile(mac_words=3)
+        keys = DeviceKeys.from_seed(KEY_SEED).for_profile(profile)
+        image = transform(parse(VICTIM_ASM), keys, nonce=0x7777,
+                          profile=profile)
+        raw = type(image).from_bytes(image.to_bytes())
+        report = run_attacksynth_image(raw, seed=5, key_seed=KEY_SEED)
+        assert report.instances > 0
+        assert report.profile == profile
+        assert report.bounds().mac_bits == 96

@@ -9,9 +9,11 @@ the replay attacks the nonce exists to stop.
 import pytest
 
 from repro.crypto import DeviceKeys
+from repro.errors import ImageError
 from repro.isa import parse
 from repro.sim import SofiaMachine, Status
-from repro.transform import reencrypt, transform
+from repro.transform import (ProtectionProfile, profile_grid, reencrypt,
+                             rotate_nonce, transform)
 
 KEYS = DeviceKeys.from_seed(0xCAFE)
 
@@ -69,3 +71,48 @@ class TestCrossVersionReplay:
         image_a = transform(parse(PROGRAM_V1), KEYS, nonce=0x000A)
         image_b = transform(parse(PROGRAM_V1), KEYS, nonce=0x000B)
         assert all(a != b for a, b in zip(image_a.words, image_b.words))
+
+
+class TestCrossVersionAcrossProfiles:
+    """The replay protections hold at every E17 design point."""
+
+    @pytest.mark.parametrize(
+        "profile", profile_grid(renonce=("sequential",)),
+        ids=lambda p: p.label)
+    def test_old_version_block_rejected_per_profile(self, profile):
+        keys = KEYS.for_profile(profile)
+        image_v1 = transform(parse(PROGRAM_V1), keys, nonce=0x0001,
+                             profile=profile)
+        image_v2 = transform(parse(PROGRAM_V2), keys, nonce=0x0002,
+                             profile=profile)
+        machine = SofiaMachine(image_v2, keys)
+        for offset in range(image_v2.block_bytes // 4):
+            machine.memory.poke_code(image_v2.code_base + 4 * offset,
+                                     image_v1.words[offset])
+        result = machine.run()
+        assert result.status is Status.RESET
+        assert result.violation.kind == "integrity"
+
+    @pytest.mark.parametrize(
+        "profile", profile_grid(renonce=("sequential",)),
+        ids=lambda p: p.label)
+    def test_old_epoch_block_rejected_after_rotation(self, profile):
+        """Stale-nonce replay across the profile's own renonce policy."""
+        keys = KEYS.for_profile(profile)
+        old = transform(parse(PROGRAM_V1), keys, nonce=0x0010,
+                        profile=profile)
+        fresh = rotate_nonce(old, keys)
+        assert fresh.nonce == profile.next_nonce(0x0010)
+        assert SofiaMachine(fresh, keys).run().ok
+        machine = SofiaMachine(fresh, keys)
+        for offset in range(fresh.block_bytes // 4):
+            machine.memory.poke_code(fresh.code_base + 4 * offset,
+                                     old.words[offset])
+        assert machine.run().detected
+
+    def test_fixed_nonce_profile_has_no_rotation_path(self):
+        profile = ProtectionProfile(renonce="fixed")
+        image = transform(parse(PROGRAM_V1), KEYS, nonce=0x0011,
+                          profile=profile)
+        with pytest.raises(ImageError, match="fixed-nonce"):
+            rotate_nonce(image, KEYS)
