@@ -61,7 +61,8 @@ _WORKER_CTX: Optional[tuple] = None
 def _init_synth_worker(key_seed: int, campaign_seed: int,
                        per_program: Optional[int],
                        include_baselines: bool,
-                       profile: ProtectionProfile) -> None:
+                       profile: ProtectionProfile,
+                       engine: Optional[str] = None) -> None:
     global _WORKER_CTX
     # provision the device for the campaign's design point: the keys
     # bind to the profile's cipher exactly as a manufactured device would
@@ -69,17 +70,23 @@ def _init_synth_worker(key_seed: int, campaign_seed: int,
     xor_key = derive_key(key_seed, "xor-isr") & 0xFFFFFFFF
     ecb_key = derive_key(key_seed, "ecb-isr")
     _WORKER_CTX = (keys, key_seed, campaign_seed, per_program,
-                   include_baselines, xor_key, ecb_key, profile)
+                   include_baselines, xor_key, ecb_key, profile, engine)
 
 
-def _clean_sofia(image: SofiaImage, keys: DeviceKeys):
-    """Clean run + the set of block bases the execution fetches."""
-    machine = SofiaMachine(image, keys)
+def _clean_sofia(image: SofiaImage, keys: DeviceKeys,
+                 engine: Optional[str] = None):
+    """Clean run + the traversed block bases + the machine itself.
+
+    With ``engine="batch"`` the clean machine bit-slice-warms the image's
+    whole front end on its first ``run()``; the caller then reuses it as
+    the cache donor for every attack-instance machine.
+    """
+    machine = SofiaMachine(image, keys, engine=engine)
     traversed = set()
     block_base_of = image.block_base_of
     machine.on_commit = lambda pc, _instr: traversed.add(block_base_of(pc))
     result = machine.run(max_instructions=SOFIA_BUDGET)
-    return result, traversed
+    return result, traversed, machine
 
 
 def _program_label(index: int, genome: Genome) -> str:
@@ -88,14 +95,15 @@ def _program_label(index: int, genome: Genome) -> str:
 
 
 def _sofia_instance_result(instance, image: SofiaImage, keys: DeviceKeys,
-                           clean_obs) -> Tuple[InstanceResult, bool]:
+                           clean_obs, donor=None
+                           ) -> Tuple[InstanceResult, bool]:
     """Run one instance on the SOFIA core into a fresh result record."""
     result = InstanceResult(
         family=instance.family, name=instance.name,
         description=instance.description, expected=instance.expected,
         expected_plain=instance.expected_plain)
     sofia_out, hijacked, violation, edge_ok = run_sofia_instance(
-        instance, image, keys, clean_obs)
+        instance, image, keys, clean_obs, donor=donor)
     result.outcomes[TARGET_SOFIA] = sofia_out
     result.violation = violation
     result.edge_ok = edge_ok
@@ -105,7 +113,7 @@ def _sofia_instance_result(instance, image: SofiaImage, keys: DeviceKeys,
 def _synth_task(task: Tuple[int, Genome]) -> ProgramOutcome:
     """Worker: build one program, enumerate and run all its attacks."""
     (keys, key_seed, campaign_seed, per_program,
-     include_baselines, xor_key, ecb_key, profile) = _WORKER_CTX
+     include_baselines, xor_key, ecb_key, profile, engine) = _WORKER_CTX
     index, genome = task
     outcome = ProgramOutcome(index=index,
                              label=_program_label(index, genome))
@@ -128,7 +136,9 @@ def _synth_task(task: Tuple[int, Genome]) -> ProgramOutcome:
         plain_targets.append(
             (TARGET_ECB, lambda: EcbIsrMachine(exe, ecb_key)))
 
-    sofia_clean, traversed = _clean_sofia(image, keys)
+    sofia_clean, traversed, clean_machine = _clean_sofia(image, keys,
+                                                         engine=engine)
+    donor = clean_machine if engine == "batch" else None
     plain_clean = {}
     for name, make in plain_targets:
         plain_clean[name] = make().run(max_instructions=PLAIN_BUDGET)
@@ -153,7 +163,7 @@ def _synth_task(task: Tuple[int, Genome]) -> ProgramOutcome:
 
     for instance in instances:
         result, hij = _sofia_instance_result(instance, image, keys,
-                                             sofia_obs)
+                                             sofia_obs, donor=donor)
         hijacked = [TARGET_SOFIA] if hij else []
         for name, make in plain_targets:
             if not instance.plain_applicable:
@@ -367,12 +377,18 @@ def run_attacksynth(programs: int = DEFAULT_PROGRAMS, *,
                     include_baselines: bool = False,
                     key_seed: int = DEFAULT_KEY_SEED,
                     profile: Optional[ProtectionProfile] = None,
-                    export_path=None, csv_path=None) -> SynthReport:
+                    export_path=None, csv_path=None,
+                    engine: Optional[str] = None) -> SynthReport:
     """Enumerate and run attacks over ``programs`` protected programs.
 
     ``profile`` seals every victim under that design point (the genome
     still picks the block geometry); the enumerator and the §IV-A bound
     cross-check adapt to the image's actual profile.
+
+    ``engine="batch"`` bit-slice-warms each victim's front end once on
+    the clean run and shares the pure keystream/seal memos with every
+    attack-instance machine; the report and its exports stay
+    byte-identical (the export carries no engine field by design).
     """
     started = time.perf_counter()
     profile = profile or DEFAULT_PROFILE
@@ -385,7 +401,8 @@ def run_attacksynth(programs: int = DEFAULT_PROGRAMS, *,
     report.programs = run_tasks(
         _synth_task, tasks, jobs=jobs, parallel=parallel,
         initializer=_init_synth_worker,
-        initargs=(key_seed, seed, per_program, include_baselines, profile))
+        initargs=(key_seed, seed, per_program, include_baselines, profile,
+                  engine))
     report.elapsed_seconds = time.perf_counter() - started
     _export(report, export_path, csv_path)
     return report
@@ -394,7 +411,8 @@ def run_attacksynth(programs: int = DEFAULT_PROGRAMS, *,
 def run_attacksynth_image(image: SofiaImage, *, seed: int = DEFAULT_SEED,
                           per_program: Optional[int] = None,
                           key_seed: int = DEFAULT_KEY_SEED,
-                          export_path=None, csv_path=None) -> SynthReport:
+                          export_path=None, csv_path=None,
+                          engine: Optional[str] = None) -> SynthReport:
     """Observational sweep over one explicit (metadata-less) image.
 
     Deserialized images carry no layout metadata, so enumeration is
@@ -409,7 +427,8 @@ def run_attacksynth_image(image: SofiaImage, *, seed: int = DEFAULT_SEED,
                          profile=image.profile)
     outcome = ProgramOutcome(index=0, label="image")
     outcome.blocks = image.num_blocks
-    clean = SofiaMachine(image, keys).run(max_instructions=SOFIA_BUDGET)
+    clean_machine = SofiaMachine(image, keys, engine=engine)
+    clean = clean_machine.run(max_instructions=SOFIA_BUDGET)
     if not clean.ok:
         # without a clean baseline every mutated run "detects" too — a
         # wrong key seed must be an error, not a perfect-looking matrix
@@ -420,13 +439,14 @@ def run_attacksynth_image(image: SofiaImage, *, seed: int = DEFAULT_SEED,
         report.elapsed_seconds = time.perf_counter() - started
         return report
     clean_obs = observables(clean)
+    donor = clean_machine if engine == "batch" else None
     rng = task_rng(seed, "attacksynth-image")
     instances = enumerate_geometric(image, rng)
     if per_program is not None:
         instances = instances[:per_program]
     for instance in instances:
         result, hij = _sofia_instance_result(instance, image, keys,
-                                             clean_obs)
+                                             clean_obs, donor=donor)
         result.hijacked = (TARGET_SOFIA,) if hij else ()
         outcome.instances.append(result)
     report.programs = [outcome]

@@ -26,8 +26,11 @@ provisions the device keys for the image's embedded profile.  The
 fan their campaigns across N worker processes via :mod:`repro.runner`
 (``--jobs 0`` means one per CPU; the default of 1 runs the bit-identical
 serial path).  ``run`` and ``run-protected`` accept ``--engine
-{predecoded,reference}`` to pin the execution engine
-(:mod:`repro.sim.engine`); results are bit-identical either way.  Exit
+{predecoded,reference,batch}`` to pin the execution engine
+(:mod:`repro.sim.engine`); ``fuzz``, ``attacksynth`` and ``dse`` accept
+``--engine batch`` to route their campaigns through the bit-sliced
+batch engine (:mod:`repro.sim.batch`); results are bit-identical to the
+default scalar path either way.  Exit
 status: 0 on success, 1 on a program error (assembly/compile/transform
 failure), 2 on bad usage.
 """
@@ -218,14 +221,15 @@ def cmd_attacksynth(args) -> int:
         report = run_attacksynth_image(
             image, seed=args.seed, per_program=args.per_program,
             key_seed=args.key_seed, export_path=args.export,
-            csv_path=args.csv)
+            csv_path=args.csv, engine=args.engine)
     else:
         programs = args.programs if args.programs is not None else 200
         report = run_attacksynth(
             programs, seed=args.seed, per_program=args.per_program,
             parallel=parallel, jobs=jobs, corpus_dir=args.corpus,
             include_baselines=args.baselines, key_seed=args.key_seed,
-            profile=profile, export_path=args.export, csv_path=args.csv)
+            profile=profile, export_path=args.export, csv_path=args.csv,
+            engine=args.engine)
     if report.instances == 0:
         for label, error in report.build_errors:
             print(f"error: {label}: {error}", file=sys.stderr)
@@ -259,7 +263,7 @@ def cmd_dse(args) -> int:
                      scale=args.scale, programs=args.programs,
                      per_model=args.per_model, parallel=parallel,
                      jobs=jobs, export_path=args.export,
-                     csv_path=args.csv, **kwargs)
+                     csv_path=args.csv, engine=args.engine, **kwargs)
     print(report.render())
     for path in (args.export, args.csv):
         if path:
@@ -274,7 +278,8 @@ def cmd_fuzz(args) -> int:
                       parallel=parallel, jobs=jobs,
                       corpus_dir=args.corpus,
                       time_budget=args.time_budget,
-                      include_baselines=args.baselines)
+                      include_baselines=args.baselines,
+                      engine=args.engine)
     print(report.render())
     if args.corpus:
         print(f"# wrote corpus + coverage + report under {args.corpus}",
@@ -411,6 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", metavar="SPEC",
                    help="seal the victims under this design point "
                         "(e.g. present-80:mac32:fixed)")
+    p.add_argument("--engine", choices=("batch",), default=None,
+                   help="route the campaign through the bit-sliced batch "
+                        "engine (results are byte-identical)")
     p.set_defaults(func=cmd_attacksynth)
 
     p = sub.add_parser(
@@ -443,6 +451,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the sweep record as canonical JSON")
     p.add_argument("--csv", metavar="FILE",
                    help="write the Pareto table as CSV")
+    p.add_argument("--engine", choices=("batch",), default=None,
+                   help="route each point's campaigns through the "
+                        "bit-sliced batch engine (byte-identical)")
     p.set_defaults(func=cmd_dse)
 
     p = sub.add_parser("fuzz",
@@ -463,6 +474,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="specimens per scheduling round (default 50)")
     p.add_argument("--baselines", action="store_true",
                    help="also lockstep the XOR/ECB ISR baseline machines")
+    p.add_argument("--engine", choices=("batch",), default=None,
+                   help="widen the SOFIA engine axis to the three-way "
+                        "reference/predecoded/batch lockstep")
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("experiments", help="regenerate paper artifacts")

@@ -1,5 +1,7 @@
 """Cryptographic substrate: cipher registry, CTR keystream, CBC-MAC, keys."""
 
+from .bitslice import (WIDTH, batch_mac_stream, bitsliced_for, encrypt_batch,
+                       pack_planes, transpose_bits, unpack_planes)
 from .cbcmac import cbc_mac, mac_stream, mac_words, verify
 from .ctr import EdgeKeystream, pack_counter
 from .keys import DeviceKeys, derive_key
@@ -16,6 +18,13 @@ __all__ = [
     "pack_counter",
     "cbc_mac",
     "mac_stream",
+    "WIDTH",
+    "encrypt_batch",
+    "batch_mac_stream",
+    "bitsliced_for",
+    "pack_planes",
+    "unpack_planes",
+    "transpose_bits",
     "mac_words",
     "verify",
     "DeviceKeys",

@@ -117,9 +117,11 @@ class DesignPointRow:
 
 
 def _init_dse_worker(key_seed: int, seed: int, workloads: Tuple[str, ...],
-                     scale: str, programs: int, per_model: int) -> None:
+                     scale: str, programs: int, per_model: int,
+                     engine: Optional[str] = None) -> None:
     global _WORKER_CTX
-    _WORKER_CTX = (key_seed, seed, workloads, scale, programs, per_model)
+    _WORKER_CTX = (key_seed, seed, workloads, scale, programs, per_model,
+                   engine)
 
 
 def _round(value: float) -> float:
@@ -129,7 +131,8 @@ def _round(value: float) -> float:
 
 def _dse_task(task: Tuple[int, ProtectionProfile]) -> DesignPointRow:
     """Worker: evaluate one design point end to end."""
-    key_seed, seed, workloads, scale, programs, per_model = _WORKER_CTX
+    (key_seed, seed, workloads, scale, programs, per_model,
+     engine) = _WORKER_CTX
     _index, profile = task
     row = DesignPointRow(
         label=profile.label, cipher=profile.cipher,
@@ -160,7 +163,8 @@ def _dse_task(task: Tuple[int, ProtectionProfile]) -> DesignPointRow:
         from ..attacksynth.campaign import run_attacksynth
         synth = run_attacksynth(
             programs, seed=task_seed(seed, "dse-synth", profile.label),
-            key_seed=key_seed, profile=profile, parallel=False)
+            key_seed=key_seed, profile=profile, parallel=False,
+            engine=engine)
         bounds = synth.bounds()
         row.synth_instances = synth.instances
         row.synth_attempts = bounds.attempts
@@ -179,7 +183,7 @@ def _dse_task(task: Tuple[int, ProtectionProfile]) -> DesignPointRow:
             victim.compile().program, keys, victim.expected_output,
             per_model=per_model,
             seed=task_seed(seed, "dse-fault", profile.label),
-            profile=profile, parallel=False)
+            profile=profile, parallel=False, engine=engine)
         totals = {outcome.value: 0 for outcome in FaultOutcome}
         for per_model_counts in summary.counts.values():
             for outcome, count in per_model_counts.items():
@@ -290,8 +294,15 @@ def run_dse(profiles: Sequence[ProtectionProfile], *,
             programs: int = DEFAULT_PROGRAMS,
             per_model: int = DEFAULT_PER_MODEL,
             parallel: bool = False, jobs: Optional[int] = None,
-            export_path=None, csv_path=None) -> DseReport:
-    """Sweep the profile list; one runner task per design point."""
+            export_path=None, csv_path=None,
+            engine: Optional[str] = None) -> DseReport:
+    """Sweep the profile list; one runner task per design point.
+
+    ``engine="batch"`` routes each point's attack-synthesis and
+    fault-injection campaigns through the bit-sliced batch engine; the
+    overhead measurements stay scalar (they time the scalar engines) and
+    the JSON/CSV artifacts are byte-identical either way.
+    """
     if not profiles:
         raise ValueError("the sweep needs at least one profile")
     if not workloads:
@@ -305,7 +316,7 @@ def run_dse(profiles: Sequence[ProtectionProfile], *,
         _dse_task, tasks, jobs=jobs, parallel=parallel,
         initializer=_init_dse_worker,
         initargs=(key_seed, seed, tuple(workloads), scale, programs,
-                  per_model))
+                  per_model, engine))
     report.elapsed_seconds = time.perf_counter() - started
     if export_path is not None:
         dse_json(report.to_record(), export_path)

@@ -140,6 +140,43 @@ def dse_json(record: Dict[str, Any], path: Optional[str] = None) -> str:
     return text
 
 
+#: column order of the E18 batch-lockstep CSV (one row per measured
+#: campaign workload); kept here so figure tooling and the benchmark
+#: agree on the schema
+BATCH_CSV_HEADER = (
+    "workload", "specimens", "scalar_specimens_per_s",
+    "batch_specimens_per_s", "speedup", "identical")
+
+
+def batch_csv(rows: Sequence[Dict[str, Any]],
+              path: Optional[str] = None) -> str:
+    """E18 data: batch-vs-scalar campaign throughput, one workload per row.
+
+    ``rows`` are plain dicts keyed by :data:`BATCH_CSV_HEADER` (produced
+    by ``benchmarks/bench_batch_lockstep.py``), so this exporter stays
+    decoupled from the benchmark internals.
+    """
+    return _write(BATCH_CSV_HEADER,
+                  [[row.get(key, "") for key in BATCH_CSV_HEADER]
+                   for row in rows],
+                  path)
+
+
+def batch_json(record: Dict[str, Any], path: Optional[str] = None) -> str:
+    """E18 campaign record as canonical JSON.
+
+    Only the deterministic fields (outcome counts, identity verdicts —
+    never the measured throughputs) belong in ``record``: keys are
+    sorted, so the same campaign parameters produce byte-identical
+    files at any ``--jobs`` value or batch width — the contract the
+    batch determinism suite pins.
+    """
+    text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
 def cache_csv(points: List[CachePoint],
               path: Optional[str] = None) -> str:
     """E14 data: I-cache sensitivity."""

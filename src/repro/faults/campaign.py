@@ -34,8 +34,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..crypto.keys import DeviceKeys
 from ..isa.program import AsmProgram
-from ..runner import (campaign_record, resolve_jobs, run_tasks,
-                      write_campaign)
+from ..runner import (campaign_record, make_batches, resolve_jobs,
+                      run_tasks, write_campaign)
+from ..sim.batch import BATCH_WIDTH, LockstepLeader
 from ..sim.result import Status
 from ..sim.sofia import SofiaMachine
 from ..transform.image import SofiaImage
@@ -93,16 +94,9 @@ class CampaignSummary:
         return "\n".join(lines)
 
 
-def run_fault(image: SofiaImage, keys: DeviceKeys, fault: FaultSpec,
-              golden_output: Sequence[int],
-              max_instructions: int = 2_000_000,
-              engine: Optional[str] = None) -> FaultResult:
-    """Inject one fault into a fresh protected run and classify it."""
-    machine = SofiaMachine(image, keys, engine=engine)
-    if fault.trigger_instructions > 0:
-        machine.run(max_instructions=fault.trigger_instructions)
-    description = fault.inject(machine)
-    result = machine.run(max_instructions=max_instructions)
+def _classify_fault(fault: FaultSpec, description: str, result,
+                    golden_output: Sequence[int]) -> FaultResult:
+    """Map one specimen's execution result to its campaign outcome."""
     if result.status is Status.RESET:
         outcome = FaultOutcome.DETECTED
     elif result.status is Status.TRAP:
@@ -117,6 +111,46 @@ def run_fault(image: SofiaImage, keys: DeviceKeys, fault: FaultSpec,
                        outcome=outcome, description=description,
                        status=result.status,
                        detail=str(result.violation or result.trap_reason))
+
+
+def run_fault(image: SofiaImage, keys: DeviceKeys, fault: FaultSpec,
+              golden_output: Sequence[int],
+              max_instructions: int = 2_000_000,
+              engine: Optional[str] = None) -> FaultResult:
+    """Inject one fault into a fresh protected run and classify it."""
+    machine = SofiaMachine(image, keys, engine=engine)
+    if fault.trigger_instructions > 0:
+        machine.run(max_instructions=fault.trigger_instructions)
+    description = fault.inject(machine)
+    result = machine.run(max_instructions=max_instructions)
+    return _classify_fault(fault, description, result, golden_output)
+
+
+def run_fault_batch(image: SofiaImage, keys: DeviceKeys,
+                    faults: Sequence[FaultSpec],
+                    golden_output: Sequence[int],
+                    max_instructions: int = 2_000_000) -> List[FaultResult]:
+    """Lockstep-batched :func:`run_fault` over one specimen group.
+
+    One leader machine (with a bit-slice-warmed front end) runs the
+    shared clean prefix exactly once; each specimen forks off at its
+    trigger point, injects, and resumes on the scalar engine.  Results
+    come back in the *submission* order of ``faults`` and are
+    byte-identical to per-specimen :func:`run_fault` calls — the scalar
+    prefix cost ``sum(t_i)`` collapses to ``max(t_i)``.
+    """
+    results: List[Optional[FaultResult]] = [None] * len(faults)
+    leader = LockstepLeader(image, keys)
+    order = sorted(range(len(faults)),
+                   key=lambda i: faults[i].trigger_instructions)
+    for index in order:
+        fault = faults[index]
+        machine = leader.fork_at(fault.trigger_instructions)
+        description = fault.inject(machine)
+        result = machine.run(max_instructions=max_instructions)
+        results[index] = _classify_fault(fault, description, result,
+                                         golden_output)
+    return results
 
 
 def sample_faults(image: SofiaImage, total_instructions: int,
@@ -187,6 +221,12 @@ def _fault_task(fault: FaultSpec) -> FaultResult:
                      engine=engine)
 
 
+def _fault_batch_task(group: List[FaultSpec]) -> List[FaultResult]:
+    image, keys, golden_output, max_instructions, _engine = _WORKER_CTX
+    return run_fault_batch(image, keys, group, golden_output,
+                           max_instructions)
+
+
 def run_campaign(program: AsmProgram, keys: DeviceKeys,
                  golden_output: Sequence[int], nonce: int = 0xFA17,
                  per_model: int = 25, seed: int = 2016,
@@ -194,7 +234,8 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
                  rng: Optional[random.Random] = None,
                  parallel: bool = False, jobs: Optional[int] = None,
                  export_path=None, engine: Optional[str] = None,
-                 profile=None
+                 profile=None, batch_width: int = BATCH_WIDTH,
+                 models: Optional[Sequence[str]] = None
                  ) -> "tuple[List[FaultResult], CampaignSummary]":
     """Full campaign on one program; returns per-fault results + summary.
 
@@ -204,6 +245,13 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
     CPU); serial and parallel runs classify identically because each
     ``run_fault`` is a pure function of (image, fault).  ``export_path``
     writes the campaign's parameters and per-specimen results as JSON.
+
+    ``engine="batch"`` routes the specimens through the lockstep batch
+    engine in submission-order groups of ``batch_width`` (one pool task
+    per group; the partition depends only on the width, so any ``--jobs``
+    stays byte-identical) — results and exports match the scalar path
+    exactly, just faster.  ``models`` restricts the sampled population to
+    the named fault models (default: all six).
     """
     started = time.perf_counter()
     if profile is not None:
@@ -215,25 +263,37 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
             f"golden run broken: {baseline.summary()} "
             f"{baseline.output_ints}")
     faults = sample_faults(image, baseline.instructions,
-                           per_model=per_model, seed=seed, rng=rng)
+                           per_model=per_model, seed=seed, models=models,
+                           rng=rng)
     global _WORKER_CTX
     try:
-        results = run_tasks(
-            _fault_task, faults, jobs=jobs, parallel=parallel,
-            initializer=_init_fault_worker,
-            initargs=(image, keys, list(golden_output), max_instructions,
-                      engine))
+        initargs = (image, keys, list(golden_output), max_instructions,
+                    engine)
+        if engine == "batch":
+            groups = make_batches(faults, batch_width)
+            results = [result for group_results in run_tasks(
+                _fault_batch_task, groups, jobs=jobs, parallel=parallel,
+                initializer=_init_fault_worker, initargs=initargs)
+                for result in group_results]
+        else:
+            results = run_tasks(
+                _fault_task, faults, jobs=jobs, parallel=parallel,
+                initializer=_init_fault_worker, initargs=initargs)
     finally:
         _WORKER_CTX = None  # release the image pinned by the serial path
     summary = CampaignSummary()
     for result in results:
         summary.add(result)
     if export_path is not None:
+        parameters = {"nonce": nonce, "per_model": per_model, "seed": seed,
+                      "max_instructions": max_instructions,
+                      "baseline_instructions": baseline.instructions}
+        if models is not None:
+            # restricted populations record their surface; the default
+            # all-models export layout is unchanged
+            parameters["models"] = sorted(models)
         write_campaign(export_path, campaign_record(
-            "fault-injection",
-            {"nonce": nonce, "per_model": per_model, "seed": seed,
-             "max_instructions": max_instructions,
-             "baseline_instructions": baseline.instructions},
+            "fault-injection", parameters,
             results, jobs=resolve_jobs(jobs) if parallel else 1,
             elapsed_seconds=time.perf_counter() - started))
     return results, summary

@@ -38,15 +38,16 @@ from .oracle import OracleReport, run_oracle
 _WORKER_CTX: Optional[tuple] = None
 
 
-def _init_fuzz_worker(keys: DeviceKeys, include_baselines: bool) -> None:
+def _init_fuzz_worker(keys: DeviceKeys, include_baselines: bool,
+                      engine: Optional[str] = None) -> None:
     global _WORKER_CTX
-    _WORKER_CTX = (keys, include_baselines)
+    _WORKER_CTX = (keys, include_baselines, engine)
 
 
 def _fuzz_task(genome: Genome) -> OracleReport:
-    keys, include_baselines = _WORKER_CTX
+    keys, include_baselines, engine = _WORKER_CTX
     return run_oracle(generate(genome), keys,
-                      include_baselines=include_baselines)
+                      include_baselines=include_baselines, engine=engine)
 
 
 @dataclass
@@ -129,7 +130,8 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
              include_baselines: bool = False,
              minimize_failures: bool = True,
              max_failures: int = 8,
-             key_seed: int = DEFAULT_KEY_SEED) -> FuzzReport:
+             key_seed: int = DEFAULT_KEY_SEED,
+             engine: Optional[str] = None) -> FuzzReport:
     """Run a campaign of ``seeds`` specimens; returns the full report.
 
     ``corpus_dir`` persists the corpus, ``coverage.json``,
@@ -137,6 +139,9 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
     is loaded first, so campaigns accumulate across invocations.
     ``max_failures`` caps how many *distinct* failing specimens are
     minimized and triaged (minimization re-runs the oracle many times).
+    ``engine="batch"`` widens every specimen's SOFIA engine axis to the
+    three-way reference/predecoded/batch lockstep (see
+    :func:`~repro.fuzz.oracle.run_oracle`).
     """
     started = time.perf_counter()
     keys = DeviceKeys.from_seed(key_seed)
@@ -160,7 +165,7 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
         results = run_tasks(_fuzz_task, genomes,
                             jobs=jobs, parallel=parallel,
                             initializer=_init_fuzz_worker,
-                            initargs=(keys, include_baselines))
+                            initargs=(keys, include_baselines, engine))
         for oracle_report in results:
             report.specimens += 1
             report.instructions += oracle_report.instructions

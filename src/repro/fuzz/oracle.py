@@ -93,36 +93,42 @@ _FIELD_NAMES = ("status", "cycles", "instructions", "exit_code",
 
 
 def _compare_engines(axis: str, make_machine, budget: int,
-                     divergences: List[Divergence]):
-    """Run both engines of one machine; flag every differing observable.
+                     divergences: List[Divergence],
+                     engines: Tuple[str, ...] = ("reference",)):
+    """Run ``engines`` against the predecoded engine of one machine; flag
+    every differing observable.
 
     Returns the predecoded run's (machine, result) — the pair the rest
-    of the oracle keeps reasoning about.
+    of the oracle keeps reasoning about.  Each extra engine (the batch
+    axis adds ``"batch"``) is held to the same bit-identical contract.
     """
-    ref = make_machine("reference")
     pre = make_machine("predecoded")
-    ref_result = ref.run(max_instructions=budget)
     pre_result = pre.run(max_instructions=budget)
-    ref_fields = _result_fields(ref_result)
     pre_fields = _result_fields(pre_result)
-    for name, a, b in zip(_FIELD_NAMES, ref_fields, pre_fields):
-        if a != b:
+    for engine in engines:
+        other = make_machine(engine)
+        other_result = other.run(max_instructions=budget)
+        other_fields = _result_fields(other_result)
+        for name, a, b in zip(_FIELD_NAMES, other_fields, pre_fields):
+            if a != b:
+                divergences.append(Divergence(
+                    axis, name, f"{engine}={a!r} predecoded={b!r}"))
+        if other.state.regs != pre.state.regs:
+            delta = [i for i in range(32)
+                     if other.state.regs[i] != pre.state.regs[i]]
             divergences.append(Divergence(
-                axis, name, f"reference={a!r} predecoded={b!r}"))
-    if ref.state.regs != pre.state.regs:
-        delta = [i for i in range(32)
-                 if ref.state.regs[i] != pre.state.regs[i]]
-        divergences.append(Divergence(
-            axis, "regs", f"registers differ at {delta}"))
-    if ref.state.pc != pre.state.pc:
-        divergences.append(Divergence(
-            axis, "pc",
-            f"reference=0x{ref.state.pc:08x} predecoded=0x{pre.state.pc:08x}"))
-    if ref.memory.ram != pre.memory.ram:
-        first = next(i for i, (x, y) in
-                     enumerate(zip(ref.memory.ram, pre.memory.ram)) if x != y)
-        divergences.append(Divergence(
-            axis, "ram", f"data RAM differs from byte offset {first}"))
+                axis, "regs", f"registers differ at {delta}"))
+        if other.state.pc != pre.state.pc:
+            divergences.append(Divergence(
+                axis, "pc",
+                f"{engine}=0x{other.state.pc:08x} "
+                f"predecoded=0x{pre.state.pc:08x}"))
+        if other.memory.ram != pre.memory.ram:
+            first = next(
+                i for i, (x, y) in
+                enumerate(zip(other.memory.ram, pre.memory.ram)) if x != y)
+            divergences.append(Divergence(
+                axis, "ram", f"data RAM differs from byte offset {first}"))
     return pre, pre_result
 
 
@@ -138,12 +144,18 @@ def run_oracle(specimen: Specimen, keys: DeviceKeys,
                timing: TimingParams = DEFAULT_TIMING,
                include_baselines: bool = False,
                vanilla_budget: int = VANILLA_BUDGET,
-               sofia_budget: int = SOFIA_BUDGET) -> OracleReport:
+               sofia_budget: int = SOFIA_BUDGET,
+               engine: Optional[str] = None) -> OracleReport:
     """The full differential pipeline for one specimen.
 
     The budgets exist for the minimizer: a reduced candidate can loop
     forever, so reduction probes run with budgets scaled to the
     original failure instead of the full campaign budgets.
+
+    ``engine="batch"`` widens the SOFIA engine axis to a three-way
+    lockstep — reference and batch each compared bit-for-bit against
+    predecoded — so every fuzzing campaign that opts in also
+    differential-tests the bit-sliced front end on generated programs.
     """
     report = OracleReport(specimen=specimen)
     genome = specimen.genome
@@ -168,10 +180,12 @@ def run_oracle(specimen: Specimen, keys: DeviceKeys,
         "vanilla-engine",
         lambda engine: VanillaMachine(executable, timing, engine=engine),
         vanilla_budget, divergences)
+    sofia_engines = (("reference", "batch") if engine == "batch"
+                     else ("reference",))
     _, sofia = _compare_engines(
         "sofia-engine",
-        lambda engine: SofiaMachine(image, keys, timing, engine=engine),
-        sofia_budget, divergences)
+        lambda eng: SofiaMachine(image, keys, timing, engine=eng),
+        sofia_budget, divergences, engines=sofia_engines)
 
     report.vanilla_status = vanilla.status.value
     report.sofia_status = sofia.status.value

@@ -42,6 +42,7 @@ plug in behind :func:`~repro.runner.pool.run_tasks` without touching the
 campaign call sites.
 """
 
+from .batching import make_batches
 from .cache import (DEFAULT_KEY_SEED, BuildCache, BuildSpec, CacheStats,
                     build_cache, clear_build_cache)
 from .export import campaign_record, to_jsonable, write_campaign
@@ -49,7 +50,7 @@ from .pool import default_chunksize, resolve_jobs, run_tasks
 from .seeding import task_rng, task_seed
 
 __all__ = [
-    "run_tasks", "resolve_jobs", "default_chunksize",
+    "run_tasks", "resolve_jobs", "default_chunksize", "make_batches",
     "task_seed", "task_rng",
     "BuildCache", "BuildSpec", "CacheStats", "build_cache",
     "clear_build_cache", "DEFAULT_KEY_SEED",

@@ -1,5 +1,7 @@
 """Processor simulation substrate (vanilla LEON3-like core + SOFIA core)."""
 
+from .batch import (BATCH_WIDTH, LockstepLeader, adopt_caches, fork_machine,
+                    warm_front_end)
 from .cache import CacheStats, DirectMappedCache
 from .core import CPUState, ExecOutcome, execute, to_signed
 from .engine import (DEFAULT_ENGINE, ENGINES, compile_handler, predecode,
@@ -21,6 +23,8 @@ __all__ = [
     "VanillaMachine", "run_executable",
     "SofiaMachine", "run_image",
     "DEFAULT_ENGINE", "ENGINES", "resolve_engine",
+    "BATCH_WIDTH", "LockstepLeader", "warm_front_end", "fork_machine",
+    "adopt_caches",
     "compile_handler", "predecode",
     "TimingParams", "DEFAULT_TIMING", "LEON3_MINIMAL_TIMING",
     "instruction_cycles", "cycle_costs",

@@ -53,8 +53,10 @@ SIGN_BIT = 0x80000000
 HALT = -1
 
 #: the engines a machine can run; the predecoded engine is the default,
-#: ``"reference"`` selects the original ``core.execute`` oracle loop
-ENGINES = ("predecoded", "reference")
+#: ``"reference"`` selects the original ``core.execute`` oracle loop and
+#: ``"batch"`` the predecoded loop over a bit-slice-warmed front end
+#: (:mod:`repro.sim.batch`)
+ENGINES = ("predecoded", "reference", "batch")
 DEFAULT_ENGINE = "predecoded"
 
 Handler = Callable[[list, Memory, int], Optional[int]]

@@ -101,6 +101,11 @@ class SofiaMachine:
         #: restores program memory after the next block traversal.
         self.verify_skip_budget = 0
         self.pending_fetch_restore: Optional[Tuple[int, int]] = None
+        #: pure seal memo (kind, payload words) -> computed MAC, shared
+        #: across forked/donor machines by the batch engine; ``None``
+        #: keeps the scalar per-traversal recompute path
+        self._mac_cache: Optional[Dict[Tuple[str, Tuple[int, ...]],
+                                       Tuple[int, ...]]] = None
         #: optional tracing hook, called as on_commit(pc, instr) after each
         #: committed instruction (see repro.sim.trace)
         self.on_commit = None
@@ -194,7 +199,8 @@ class SofiaMachine:
         # (the entry's M1 copy, then M2..Mw), so the unseal split is
         # uniform; mac_slots counts the seal words occupying fetch slots.
         payload_words, stored, expected = unseal_block(
-            kind, plaintext, self.keys, self.profile.mac_words)
+            kind, plaintext, self.keys, self.profile.mac_words,
+            mac_cache=self._mac_cache)
         mac_slots = self.profile.mac_words
         if expected != stored and not force_accept:
             run_hex = "".join(f"{w:08x}" for w in expected)
@@ -250,6 +256,11 @@ class SofiaMachine:
     def run(self, max_instructions: int = 50_000_000) -> ExecutionResult:
         if self.engine == "reference":
             return self._run_reference(max_instructions)
+        if self.engine == "batch" and self._mac_cache is None:
+            # batch engine == the predecoded loop over a front end warmed
+            # in one bit-sliced sweep (lazy; import here breaks the cycle)
+            from .batch import warm_front_end
+            warm_front_end(self)
         return self._run_predecoded(max_instructions)
 
     def _run_reference(self, max_instructions: int) -> ExecutionResult:

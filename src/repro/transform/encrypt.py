@@ -72,7 +72,7 @@ def seal_block(kind: str, payload_words: Sequence[int], keys: DeviceKeys,
 
 
 def unseal_block(kind: str, fetched_words: Sequence[int], keys: DeviceKeys,
-                 mac_words: int = 2
+                 mac_words: int = 2, mac_cache: Optional[Dict] = None
                  ) -> Tuple[List[int], Tuple[int, ...], Tuple[int, ...]]:
     """Split one traversal's decrypted words and recompute their seal.
 
@@ -82,13 +82,27 @@ def unseal_block(kind: str, fetched_words: Sequence[int], keys: DeviceKeys,
     payload (the skipped M1 copy never appears).  In both cases the
     first ``mac_words`` entries are the stored seal.
 
+    ``mac_cache`` (the batch engine's shared seal memo, see
+    :mod:`repro.sim.batch`) memoizes the recomputation by
+    ``(kind, payload)``; the seal is a pure function of those plus the
+    fixed keys and width, so the memo is observationally invisible.
+
     Returns ``(payload_words, stored_macs, computed_macs)``; the block
     verifies iff ``stored_macs == computed_macs``.
     """
     fetched = list(fetched_words)
     stored = tuple(fetched[:mac_words])
     payload = fetched[mac_words:]
-    computed = mac_stream(block_mac_cipher(keys, kind), payload, mac_words)
+    if mac_cache is None:
+        computed = mac_stream(block_mac_cipher(keys, kind), payload,
+                              mac_words)
+    else:
+        key = (kind, tuple(payload))
+        computed = mac_cache.get(key)
+        if computed is None:
+            computed = mac_stream(block_mac_cipher(keys, kind), payload,
+                                  mac_words)
+            mac_cache[key] = computed
     return payload, stored, computed
 
 

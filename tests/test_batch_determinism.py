@@ -1,0 +1,155 @@
+"""Determinism contract of the batch engine: byte-identical everywhere.
+
+The batch partition (:func:`repro.runner.make_batches`) depends only on
+submission order and width, so a batched campaign must be byte-identical
+
+* to the scalar campaign (the W=1 degenerate case *and* any other W),
+* at any ``--jobs`` value (serial vs process pool),
+* across batch widths (W=64 groups vs W=7 groups),
+
+and the E18 export helpers must emit byte-for-byte pinned artifacts for
+a fixed record — the goldens here are what the CI smoke re-derives.
+"""
+
+import json
+
+import pytest
+
+from repro.crypto import DeviceKeys
+from repro.eval.export import batch_csv, batch_json
+from repro.faults.campaign import run_campaign
+from repro.runner import make_batches
+from repro.workloads import make_workload
+
+KEYS = DeviceKeys.from_seed(0xBEEF2016)
+
+_VICTIM = {}
+
+
+def victim():
+    if not _VICTIM:
+        workload = make_workload("sort", "tiny")
+        _VICTIM["workload"] = workload
+        _VICTIM["program"] = workload.compile().program
+    return _VICTIM["program"], _VICTIM["workload"].expected_output
+
+
+def classify(**kwargs):
+    program, golden = victim()
+    results, summary = run_campaign(
+        program, KEYS, golden, per_model=3, seed=41,
+        max_instructions=200_000, **kwargs)
+    return ([(r.model, r.outcome, r.description, r.status, r.detail)
+             for r in results], summary.counts)
+
+
+class TestMakeBatches:
+    def test_partition_depends_only_on_width(self):
+        items = list(range(10))
+        assert make_batches(items, 4) == [[0, 1, 2, 3], [4, 5, 6, 7],
+                                          [8, 9]]
+        assert make_batches(items, 1) == [[i] for i in items]
+        assert make_batches([], 4) == []
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            make_batches([1], 0)
+
+
+class TestCampaignDeterminism:
+    def test_batch_equals_scalar(self):
+        assert classify(engine="batch") == classify()
+
+    def test_width_one_equals_scalar(self):
+        assert classify(engine="batch", batch_width=1) == classify()
+
+    def test_any_width_is_byte_identical(self):
+        assert (classify(engine="batch", batch_width=64)
+                == classify(engine="batch", batch_width=7))
+
+    def test_any_jobs_is_byte_identical(self):
+        serial = classify(engine="batch")
+        pooled = classify(engine="batch", parallel=True, jobs=4)
+        assert serial == pooled
+
+    def test_export_is_jobs_and_width_free(self, tmp_path):
+        program, golden = victim()
+
+        def export(**kwargs):
+            path = tmp_path / "campaign.json"
+            run_campaign(program, KEYS, golden, per_model=3, seed=41,
+                         max_instructions=200_000, export_path=path,
+                         **kwargs)
+            record = json.loads(path.read_text())
+            # jobs and wall-clock are the only legitimately volatile keys
+            record.pop("jobs"), record.pop("elapsed_seconds")
+            return json.dumps(record, sort_keys=True)
+
+        scalar = export()
+        assert export(engine="batch") == scalar
+        assert export(engine="batch", batch_width=5) == scalar
+        assert export(engine="batch", parallel=True, jobs=4) == scalar
+
+
+# --- pinned E18 export goldens ---------------------------------------------
+
+_E18_RECORD = {
+    "experiment": "E18",
+    "campaign": "batch-lockstep",
+    "parameters": {"seed": 77, "per_model": 8, "width": 64,
+                   "models": ["CodeBitFlip", "PCGlitch"]},
+    "workloads": ["crc32", "sort"],
+    "identical": True,
+}
+
+_E18_JSON_GOLDEN = """\
+{
+  "campaign": "batch-lockstep",
+  "experiment": "E18",
+  "identical": true,
+  "parameters": {
+    "models": [
+      "CodeBitFlip",
+      "PCGlitch"
+    ],
+    "per_model": 8,
+    "seed": 77,
+    "width": 64
+  },
+  "workloads": [
+    "crc32",
+    "sort"
+  ]
+}
+"""
+
+_E18_CSV_GOLDEN = """\
+workload,specimens,scalar_specimens_per_s,batch_specimens_per_s,speedup,\
+identical
+crc32,16,10.0,50.0,5.0,1
+sort,16,20.0,100.0,5.0,1
+"""
+
+
+class TestE18ExportGoldens:
+    def test_json_golden(self, tmp_path):
+        path = tmp_path / "e18.json"
+        text = batch_json(_E18_RECORD, path)
+        assert text == _E18_JSON_GOLDEN
+        assert path.read_text() == _E18_JSON_GOLDEN
+
+    def test_csv_golden(self, tmp_path):
+        rows = [
+            {"workload": "crc32", "specimens": 16,
+             "scalar_specimens_per_s": 10.0,
+             "batch_specimens_per_s": 50.0, "speedup": 5.0,
+             "identical": 1},
+            {"workload": "sort", "specimens": 16,
+             "scalar_specimens_per_s": 20.0,
+             "batch_specimens_per_s": 100.0, "speedup": 5.0,
+             "identical": 1},
+        ]
+        path = tmp_path / "e18.csv"
+        text = batch_csv(rows, path)
+        assert text == _E18_CSV_GOLDEN
+        assert path.read_text() == _E18_CSV_GOLDEN

@@ -14,7 +14,12 @@ tests pin that contract:
   (word-level, reusing the decode-fuzz strategy idea) and random
   structured assembly programs (reusing ``test_equivalence`` strategies);
 * cache-invalidation parity for self-modifying code, the ISR baselines'
-  overridden fetch path, and the fault campaign's ``engine`` plumbing.
+  overridden fetch path, and the fault campaign's ``engine`` plumbing;
+* renonce rotation-epoch images held to the same lockstep contract.
+
+``assert_lockstep`` and the shared ``engine`` fixture (tests/conftest.py)
+range over every registered engine, so the bit-sliced batch engine is
+held to the identical per-commit contract as the reference oracle.
 """
 
 import pytest
@@ -91,19 +96,23 @@ def lockstep_trace(machine, max_instructions=2_000_000):
 
 
 def assert_lockstep(make_machine):
-    """Build a machine per engine and compare their lockstep traces."""
-    ref = make_machine("reference")
+    """Build a machine per registered engine; every engine's lockstep
+    trace must match the predecoded one commit for commit."""
     pre = make_machine("predecoded")
-    ref_result, ref_events = lockstep_trace(ref)
     pre_result, pre_events = lockstep_trace(pre)
-    for i, (a, b) in enumerate(zip(ref_events, pre_events)):
-        assert a == b, (f"first divergence at commit {i}: "
-                        f"reference={a!r} predecoded={b!r}")
-    assert len(ref_events) == len(pre_events)
-    assert ref.memory.ram == pre.memory.ram
-    assert ref.state.regs == pre.state.regs
-    assert ref.state.pc == pre.state.pc
-    assert result_fields(ref_result) == result_fields(pre_result)
+    for engine in ENGINES:
+        if engine == "predecoded":
+            continue
+        other = make_machine(engine)
+        other_result, other_events = lockstep_trace(other)
+        for i, (a, b) in enumerate(zip(other_events, pre_events)):
+            assert a == b, (f"first divergence at commit {i}: "
+                            f"{engine}={a!r} predecoded={b!r}")
+        assert len(other_events) == len(pre_events)
+        assert other.memory.ram == pre.memory.ram
+        assert other.state.regs == pre.state.regs
+        assert other.state.pc == pre.state.pc
+        assert result_fields(other_result) == result_fields(pre_result)
 
 
 class TestLockstepWorkloads:
@@ -123,18 +132,19 @@ class TestLockstepWorkloads:
 
 
 class TestCycleAccountingParity:
-    """Overhead-sweep configs must yield bit-identical cycles and stats."""
+    """Overhead-sweep configs must yield bit-identical cycles and stats
+    under every registered engine (the shared ``engine`` fixture)."""
 
     @pytest.mark.parametrize("name", workload_names())
     @pytest.mark.parametrize("timing", [DEFAULT_TIMING,
                                         LEON3_MINIMAL_TIMING],
                              ids=["default", "leon3-minimal"])
-    def test_both_machines(self, name, timing):
+    def test_both_machines(self, name, timing, engine):
         _, exe, image = build(name)
-        vr = VanillaMachine(exe, timing, engine="reference").run()
+        vr = VanillaMachine(exe, timing, engine=engine).run()
         vp = VanillaMachine(exe, timing, engine="predecoded").run()
         assert result_fields(vr) == result_fields(vp)
-        sr = SofiaMachine(image, KEYS, timing, engine="reference").run()
+        sr = SofiaMachine(image, KEYS, timing, engine=engine).run()
         sp = SofiaMachine(image, KEYS, timing, engine="predecoded").run()
         assert result_fields(sr) == result_fields(sp)
 
@@ -145,11 +155,11 @@ class TestEngineSelection:
         assert VanillaMachine(exe).engine == "predecoded"
         assert SofiaMachine(image, KEYS).engine == "predecoded"
 
-    def test_reference_selectable(self):
+    def test_every_engine_selectable(self, engine):
         _, exe, image = build("sort")
-        assert VanillaMachine(exe, engine="reference").engine == "reference"
-        assert run_executable(exe, engine="reference").ok
-        assert run_image(image, KEYS, engine="reference").ok
+        assert VanillaMachine(exe, engine=engine).engine == engine
+        assert run_executable(exe, engine=engine).ok
+        assert run_image(image, KEYS, engine=engine).ok
 
     def test_unknown_engine_rejected(self):
         _, exe, _ = build("sort")
@@ -158,7 +168,7 @@ class TestEngineSelection:
         with pytest.raises(ValueError):
             resolve_engine("turbo")
         assert resolve_engine(None) == "predecoded"
-        assert set(ENGINES) == {"predecoded", "reference"}
+        assert set(ENGINES) == {"predecoded", "reference", "batch"}
 
     def test_facade_engine_kwarg(self):
         from repro import core
@@ -268,15 +278,40 @@ class TestInvalidationParity:
         assert_lockstep(
             lambda engine: EcbIsrMachine(exe, 0xBEEF2016CAFE, engine=engine))
 
-    def test_fault_campaign_engine_parity(self):
+    def test_fault_campaign_engine_parity(self, engine):
         from repro.faults import run_campaign
         workload, _, _ = build("sort")
         program = workload.compile().program
 
-        def classify(engine):
+        def classify(eng):
             results, summary = run_campaign(
                 program, KEYS, workload.expected_output, per_model=2,
-                seed=99, max_instructions=100_000, engine=engine)
+                seed=99, max_instructions=100_000, engine=eng)
             return [(r.model, r.outcome, r.status) for r in results]
 
-        assert classify("reference") == classify("predecoded")
+        assert classify(engine) == classify("predecoded")
+
+
+class TestRenonceRotationLockstep:
+    """A rotated-epoch image (the update path) must hold the same
+    engine-lockstep contract as the freshly sealed one — this pins the
+    renonce path into the differential suite, which previously only
+    exercised first-epoch images."""
+
+    def test_rotated_epoch_lockstep(self):
+        from repro.transform.renonce import rotate_nonce
+        workload, _, image = build("sort")
+        rotated = rotate_nonce(image, KEYS)
+        assert rotated.nonce != image.nonce
+        assert_lockstep(
+            lambda engine: SofiaMachine(rotated, KEYS, engine=engine))
+        result = SofiaMachine(rotated, KEYS).run()
+        assert result.ok
+        assert result.output_ints == workload.expected_output
+
+    def test_double_rotation_lockstep(self):
+        from repro.transform.renonce import rotate_nonce
+        _, _, image = build("rle")
+        twice = rotate_nonce(rotate_nonce(image, KEYS), KEYS)
+        assert_lockstep(
+            lambda engine: SofiaMachine(twice, KEYS, engine=engine))

@@ -1,4 +1,9 @@
-"""Machine-level tests: vanilla and SOFIA run loops, traps, violations."""
+"""Machine-level tests: vanilla and SOFIA run loops, traps, violations.
+
+Behavioural tests take the shared ``engine`` fixture (tests/conftest.py)
+so every registered execution engine — reference, predecoded, batch —
+satisfies the same machine-level contract.
+"""
 
 import pytest
 
@@ -10,10 +15,10 @@ from repro.transform import TransformConfig, transform
 KEYS = DeviceKeys.from_seed(321)
 
 
-def build_sofia(source, nonce=9, config=None):
+def build_sofia(source, nonce=9, config=None, engine=None):
     image = transform(parse(source), KEYS, nonce=nonce,
                       config=config or TransformConfig())
-    return SofiaMachine(image, KEYS), image
+    return SofiaMachine(image, KEYS, engine=engine), image
 
 
 COUNTER = """
@@ -30,38 +35,39 @@ loop:
 
 
 class TestVanillaMachine:
-    def test_halt(self):
-        m = VanillaMachine(assemble_text("main: halt\n"))
+    def test_halt(self, engine):
+        m = VanillaMachine(assemble_text("main: halt\n"), engine=engine)
         r = m.run()
         assert r.status is Status.HALT
         assert r.instructions == 1
 
-    def test_exit_code(self):
+    def test_exit_code(self, engine):
         m = VanillaMachine(assemble_text("""
         main:
             li t0, 0xFFFF0008
             li t1, 5
             sw t1, 0(t0)
             halt
-        """))
+        """), engine=engine)
         r = m.run()
         assert r.status is Status.EXIT
         assert r.exit_code == 5
 
-    def test_loop_and_output(self):
-        r = VanillaMachine(assemble_text(COUNTER)).run()
+    def test_loop_and_output(self, engine):
+        r = VanillaMachine(assemble_text(COUNTER), engine=engine).run()
         assert r.output_ints == [50]
         # 2x li + 50x(addi, blt) + lui/ori + sw + halt
         assert r.instructions == 2 + 50 * 2 + 4
 
-    def test_instruction_limit(self):
-        r = VanillaMachine(assemble_text("main: jmp main\n")).run(
-            max_instructions=100)
+    def test_instruction_limit(self, engine):
+        r = VanillaMachine(assemble_text("main: jmp main\n"),
+                           engine=engine).run(max_instructions=100)
         assert r.status is Status.LIMIT
         assert r.instructions == 100
 
-    def test_illegal_instruction_traps(self):
-        m = VanillaMachine(assemble_text("main: nop\n halt\n"))
+    def test_illegal_instruction_traps(self, engine):
+        m = VanillaMachine(assemble_text("main: nop\n halt\n"),
+                           engine=engine)
         m.memory.poke_code(0, 0xFFFFFFFF)
         r = m.run()
         assert r.status is Status.TRAP
@@ -95,7 +101,7 @@ class TestVanillaMachine:
         assert r.icache.accesses == r.instructions
         assert r.icache.hit_rate > 0.9  # tight loop
 
-    def test_self_modifying_code_sees_new_bytes(self):
+    def test_self_modifying_code_sees_new_bytes(self, engine):
         # the decode cache must be invalidated by code writes
         src = """
         main:
@@ -103,7 +109,8 @@ class TestVanillaMachine:
             halt
         """
         # simpler: poke between two run() calls
-        m = VanillaMachine(assemble_text("main: nop\n nop\n halt\n"))
+        m = VanillaMachine(assemble_text("main: nop\n nop\n halt\n"),
+                           engine=engine)
         m.run(max_instructions=1)
         from repro.isa import Instruction, encode
         m.memory.poke_code(4, encode(Instruction("halt")))
@@ -112,19 +119,19 @@ class TestVanillaMachine:
 
 
 class TestSofiaMachine:
-    def test_counter_program(self):
-        m, _ = build_sofia(COUNTER)
+    def test_counter_program(self, engine):
+        m, _ = build_sofia(COUNTER, engine=engine)
         r = m.run()
         assert r.status is Status.EXIT or r.status is Status.HALT
         assert r.output_ints == [50]
 
-    def test_blocks_and_mac_cycles_accounted(self):
-        m, image = build_sofia(COUNTER)
+    def test_blocks_and_mac_cycles_accounted(self, engine):
+        m, image = build_sofia(COUNTER, engine=engine)
         r = m.run()
         assert r.blocks_executed > 0
         assert r.mac_fetch_cycles == 2 * r.blocks_executed
 
-    def test_tamper_detected_and_nothing_commits(self):
+    def test_tamper_detected_and_nothing_commits(self, engine):
         source = """
         main:
             li t0, 0xFFFF0010
@@ -132,7 +139,7 @@ class TestSofiaMachine:
             sw t1, 0(t0)
             halt
         """
-        m, image = build_sofia(source)
+        m, image = build_sofia(source, engine=engine)
         # flip a bit in the block that does the store
         m.memory.poke_code(image.code_base + 8, image.words[2] ^ 1)
         r = m.run()
@@ -140,15 +147,15 @@ class TestSofiaMachine:
         assert r.violation.kind == "integrity"
         assert m.memory.mmio.actuator == []  # the store never reached MA
 
-    def test_invalid_entry_offset(self):
-        m, image = build_sofia(COUNTER)
+    def test_invalid_entry_offset(self, engine):
+        m, image = build_sofia(COUNTER, engine=engine)
         m.state.pc = image.code_base + 12
         r = m.run()
         assert r.status is Status.RESET
         assert r.violation.kind == "invalid-entry"
 
-    def test_valid_entry_wrong_edge(self):
-        m, image = build_sofia(COUNTER)
+    def test_valid_entry_wrong_edge(self, engine):
+        m, image = build_sofia(COUNTER, engine=engine)
         m.state.pc = image.code_base + image.block_bytes  # block 1, no edge
         r = m.run()
         assert r.status is Status.RESET
@@ -169,10 +176,10 @@ class TestSofiaMachine:
         m.memory.poke_code(image.code_base, image.words[0])
         assert not m._block_cache
 
-    def test_runtime_injection_detected(self):
+    def test_runtime_injection_detected(self, engine):
         # tamper *while running*: the next traversal of the loop block
         # re-verifies and catches it (poke M2, fetched on every path)
-        m, image = build_sofia(COUNTER)
+        m, image = build_sofia(COUNTER, engine=engine)
         m.run(max_instructions=30)
         target = image.symbols["loop"] + 8
         m.memory.poke_code(target, 0x12345678)
@@ -180,9 +187,9 @@ class TestSofiaMachine:
         assert r.status is Status.RESET
         assert r.violation.kind == "integrity"
 
-    def test_small_block_configuration_runs(self):
+    def test_small_block_configuration_runs(self, engine):
         config = TransformConfig(block_words=6)
-        m, image = build_sofia(COUNTER, config=config)
+        m, image = build_sofia(COUNTER, config=config, engine=engine)
         r = m.run()
         assert r.output_ints == [50]
         assert image.block_words == 6
