@@ -34,7 +34,8 @@ from ..fuzz.corpus import Corpus
 from ..fuzz.generators import Genome, generate, random_genome
 from ..fuzz.oracle import build_program
 from ..isa.assembler import assemble
-from ..runner import run_tasks, task_rng
+from ..runner import (ResultStore, ShardSpec, run_tasks, run_tasks_stored,
+                      task_key, task_rng)
 from ..runner.cache import DEFAULT_KEY_SEED
 from ..security.bounds import EmpiricalCheck, empirical_check
 from ..sim.sofia import SofiaMachine
@@ -193,6 +194,10 @@ class SynthReport:
     profile: ProtectionProfile = DEFAULT_PROFILE
     programs: List[ProgramOutcome] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: ``False`` for a sharded invocation that skipped tasks owned by
+    #: other shards: aggregation covers only the programs present, and
+    #: no campaign artifact is exported until a merged store completes it
+    complete: bool = True
 
     # -- aggregation -----------------------------------------------------
 
@@ -378,7 +383,9 @@ def run_attacksynth(programs: int = DEFAULT_PROGRAMS, *,
                     key_seed: int = DEFAULT_KEY_SEED,
                     profile: Optional[ProtectionProfile] = None,
                     export_path=None, csv_path=None,
-                    engine: Optional[str] = None) -> SynthReport:
+                    engine: Optional[str] = None,
+                    store_dir=None,
+                    shard: Optional[ShardSpec] = None) -> SynthReport:
     """Enumerate and run attacks over ``programs`` protected programs.
 
     ``profile`` seals every victim under that design point (the genome
@@ -389,6 +396,15 @@ def run_attacksynth(programs: int = DEFAULT_PROGRAMS, *,
     the clean run and shares the pure keystream/seal memos with every
     attack-instance machine; the report and its exports stay
     byte-identical (the export carries no engine field by design).
+
+    ``store_dir`` memoizes each program's full :class:`ProgramOutcome`
+    in a persistent :class:`~repro.runner.store.ResultStore` (one entry
+    per victim, keyed by code version + campaign context + genome), so
+    a killed campaign resumes where it stopped and a warm rerun
+    simulates nothing; ``shard`` executes one deterministic ``i/n``
+    slice of the victim list (requires a store) — exports are skipped
+    until a merged store completes the campaign, and are then
+    byte-identical to an uninterrupted serial run.
     """
     started = time.perf_counter()
     profile = profile or DEFAULT_PROFILE
@@ -398,13 +414,30 @@ def run_attacksynth(programs: int = DEFAULT_PROGRAMS, *,
                          include_baselines=include_baselines,
                          profile=profile)
     tasks = list(enumerate(genomes))
-    report.programs = run_tasks(
-        _synth_task, tasks, jobs=jobs, parallel=parallel,
-        initializer=_init_synth_worker,
-        initargs=(key_seed, seed, per_program, include_baselines, profile,
-                  engine))
+    store = ResultStore(store_dir) if store_dir is not None else None
+    keys = None
+    if store is not None:
+        context = {"seed": seed, "key_seed": key_seed,
+                   "per_program": per_program,
+                   "baselines": include_baselines, "profile": profile}
+        keys = [task_key("attacksynth", context,
+                         {"index": index, "genome": genome},
+                         engine=engine) for index, genome in tasks]
+
+    def execute(missing: List[Tuple[int, Genome]]) -> List[ProgramOutcome]:
+        return run_tasks(
+            _synth_task, missing, jobs=jobs, parallel=parallel,
+            initializer=_init_synth_worker,
+            initargs=(key_seed, seed, per_program, include_baselines,
+                      profile, engine))
+
+    run = run_tasks_stored(execute, tasks, keys, store=store, shard=shard)
+    report.programs = [outcome for outcome in run.results
+                       if outcome is not None]
+    report.complete = run.complete
     report.elapsed_seconds = time.perf_counter() - started
-    _export(report, export_path, csv_path)
+    if run.complete:
+        _export(report, export_path, csv_path)
     return report
 
 

@@ -13,6 +13,7 @@ The toolchain workflow as a developer would drive it:
 ``attacksynth``     synthesize attacks against generated programs (E16)
 ``fuzz``            coverage-guided differential fuzzing campaign (E15)
 ``dse``             design-space sweep over protection profiles (E17)
+``merge``           union sharded campaign result stores (E19)
 ``experiments``     regenerate paper tables/figures (E1, E2, ...)
 ``report``          write the full E1–E11 evaluation report
 ==================  ====================================================
@@ -30,7 +31,16 @@ serial path).  ``run`` and ``run-protected`` accept ``--engine
 (:mod:`repro.sim.engine`); ``fuzz``, ``attacksynth`` and ``dse`` accept
 ``--engine batch`` to route their campaigns through the bit-sliced
 batch engine (:mod:`repro.sim.batch`); results are bit-identical to the
-default scalar path either way.  Exit
+default scalar path either way.
+
+``fuzz``, ``attacksynth`` and ``dse`` also accept ``--resume DIR`` — a
+persistent result store (:mod:`repro.runner.store`) that makes the
+campaign incremental: kill it, rerun it, only unfinished tasks execute,
+and the final artifacts are byte-identical to an uninterrupted serial
+run — and ``--shard I/N`` (requires ``--resume``), which executes one
+deterministic slice of the task list so N hosts can split a campaign;
+``repro merge`` unions the shard stores and a final ``--resume`` pass
+emits the serial-identical artifact.  Exit
 status: 0 on success, 1 on a program error (assembly/compile/transform
 failure), 2 on bad usage.
 """
@@ -173,6 +183,43 @@ def _jobs_arg(value: str) -> int:
     return jobs
 
 
+def _shard_arg(value: str):
+    """argparse type for ``--shard``: a 1-based ``i/n`` spec."""
+    from .runner import parse_shard
+    try:
+        return parse_shard(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _check_shard(args) -> Optional[str]:
+    """Usage error for a ``--shard`` given without ``--resume``."""
+    if args.shard is not None and args.resume is None:
+        return ("--shard needs --resume DIR: without a result store the "
+                "shard's results would be lost")
+    return None
+
+
+def _shard_note(args, progress: str) -> None:
+    """Progress note for a sharded (incomplete) campaign invocation."""
+    print(f"# shard {args.shard.label}: {progress} into {args.resume}; "
+          f"run the other shards, `repro merge` their stores, then rerun "
+          f"with --resume only to emit the campaign artifacts",
+          file=sys.stderr)
+
+
+def _add_store_args(p) -> None:
+    """``--resume`` / ``--shard`` flags shared by campaign subcommands."""
+    p.add_argument("--resume", metavar="DIR", default=None,
+                   help="persistent result store: load cached task "
+                        "results from DIR and execute only the missing "
+                        "ones (created if absent)")
+    p.add_argument("--shard", type=_shard_arg, default=None,
+                   metavar="I/N",
+                   help="execute one deterministic slice of the task "
+                        "list: 1-based shard I of N (requires --resume)")
+
+
 def _parse_jobs(jobs: int) -> "tuple[bool, Optional[int]]":
     """CLI ``--jobs`` value -> (parallel, jobs) runner arguments.
 
@@ -197,6 +244,10 @@ def cmd_attack(args) -> int:
 def cmd_attacksynth(args) -> int:
     from .attacksynth import run_attacksynth, run_attacksynth_image
     parallel, jobs = _parse_jobs(args.jobs)
+    usage_error = _check_shard(args)
+    if usage_error:
+        print(f"error: {usage_error}", file=sys.stderr)
+        return 2
     profile = None
     if args.profile is not None:
         from .dse.grid import parse_profile_spec
@@ -211,7 +262,9 @@ def cmd_attacksynth(args) -> int:
                       ("--corpus", args.corpus is not None),
                       ("--baselines", args.baselines),
                       ("--profile", args.profile is not None),
-                      ("--jobs", args.jobs != 1)) if given]
+                      ("--jobs", args.jobs != 1),
+                      ("--resume", args.resume is not None),
+                      ("--shard", args.shard is not None)) if given]
         if conflicts:
             print(f"error: {', '.join(conflicts)} cannot be combined "
                   f"with --image (single-image mode is serial and "
@@ -229,8 +282,8 @@ def cmd_attacksynth(args) -> int:
             parallel=parallel, jobs=jobs, corpus_dir=args.corpus,
             include_baselines=args.baselines, key_seed=args.key_seed,
             profile=profile, export_path=args.export, csv_path=args.csv,
-            engine=args.engine)
-    if report.instances == 0:
+            engine=args.engine, store_dir=args.resume, shard=args.shard)
+    if report.instances == 0 and report.complete:
         for label, error in report.build_errors:
             print(f"error: {label}: {error}", file=sys.stderr)
         why = ("every program failed to build or run cleanly"
@@ -240,6 +293,9 @@ def cmd_attacksynth(args) -> int:
               file=sys.stderr)
         return 2
     print(report.render())
+    if not report.complete:
+        _shard_note(args, f"{len(report.programs)} program(s) evaluated")
+        return 0 if report.ok else 1
     for path in (args.export, args.csv):
         if path:
             print(f"# wrote {path}", file=sys.stderr)
@@ -249,6 +305,10 @@ def cmd_attacksynth(args) -> int:
 def cmd_dse(args) -> int:
     from .dse import resolve_profiles, run_dse
     parallel, jobs = _parse_jobs(args.jobs)
+    usage_error = _check_shard(args)
+    if usage_error:
+        print(f"error: {usage_error}", file=sys.stderr)
+        return 2
     try:
         profiles = resolve_profiles(args.profiles, args.grid)
     except ValueError as exc:
@@ -263,8 +323,13 @@ def cmd_dse(args) -> int:
                      scale=args.scale, programs=args.programs,
                      per_model=args.per_model, parallel=parallel,
                      jobs=jobs, export_path=args.export,
-                     csv_path=args.csv, engine=args.engine, **kwargs)
+                     csv_path=args.csv, engine=args.engine,
+                     store_dir=args.resume, shard=args.shard, **kwargs)
     print(report.render())
+    if not report.complete:
+        _shard_note(args, f"{len(report.points)} design point(s) "
+                          f"evaluated")
+        return 0 if report.ok else 1
     for path in (args.export, args.csv):
         if path:
             print(f"# wrote {path}", file=sys.stderr)
@@ -274,17 +339,44 @@ def cmd_dse(args) -> int:
 def cmd_fuzz(args) -> int:
     from .fuzz import run_fuzz
     parallel, jobs = _parse_jobs(args.jobs)
+    usage_error = _check_shard(args)
+    if usage_error:
+        print(f"error: {usage_error}", file=sys.stderr)
+        return 2
     report = run_fuzz(seeds=args.seeds, seed=args.seed, batch=args.batch,
                       parallel=parallel, jobs=jobs,
                       corpus_dir=args.corpus,
                       time_budget=args.time_budget,
                       include_baselines=args.baselines,
-                      engine=args.engine)
+                      engine=args.engine,
+                      store_dir=args.resume, shard=args.shard)
     print(report.render())
+    if report.pending:
+        _shard_note(args, f"{report.specimens} specimen(s) replayed or "
+                          f"executed (sync point)")
+        return 0 if report.ok else 1
     if args.corpus:
         print(f"# wrote corpus + coverage + report under {args.corpus}",
               file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def cmd_merge(args) -> int:
+    from .runner import merge_stores
+    missing = [src for src in args.sources if not Path(src).is_dir()]
+    if missing:
+        print(f"error: no such store: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    try:
+        copied, present = merge_stores(args.dest, args.sources)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"# merged {len(args.sources)} store(s) into {args.dest}: "
+          f"{copied} result(s) copied, {present} already present",
+          file=sys.stderr)
+    return 0
 
 
 _EXPERIMENTS = {
@@ -419,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=("batch",), default=None,
                    help="route the campaign through the bit-sliced batch "
                         "engine (results are byte-identical)")
+    _add_store_args(p)
     p.set_defaults(func=cmd_attacksynth)
 
     p = sub.add_parser(
@@ -454,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=("batch",), default=None,
                    help="route each point's campaigns through the "
                         "bit-sliced batch engine (byte-identical)")
+    _add_store_args(p)
     p.set_defaults(func=cmd_dse)
 
     p = sub.add_parser("fuzz",
@@ -477,7 +571,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=("batch",), default=None,
                    help="widen the SOFIA engine axis to the three-way "
                         "reference/predecoded/batch lockstep")
+    _add_store_args(p)
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "merge", help="union sharded campaign result stores")
+    p.add_argument("dest",
+                   help="destination store directory (created if absent)")
+    p.add_argument("sources", nargs="+", metavar="SOURCE",
+                   help="shard store directories to union into DEST")
+    p.set_defaults(func=cmd_merge)
 
     p = sub.add_parser("experiments", help="regenerate paper artifacts")
     p.add_argument("names", nargs="*",

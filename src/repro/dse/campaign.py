@@ -29,7 +29,8 @@ from ..eval.export import dse_csv, dse_json
 from ..eval.overhead import OverheadPoint, measure_point
 from ..faults.campaign import FaultOutcome
 from ..faults.campaign import run_campaign as run_fault_campaign
-from ..runner import DEFAULT_KEY_SEED, run_tasks, task_seed
+from ..runner import (DEFAULT_KEY_SEED, ResultStore, ShardSpec, run_tasks,
+                      run_tasks_stored, task_key, task_seed)
 from ..security.bounds import cfi_attack_years, si_forgery_years
 from ..transform.profile import ProtectionProfile
 from ..workloads.base import make_workload
@@ -206,6 +207,9 @@ class DseReport:
     per_model: int
     points: List[DesignPointRow] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: ``False`` for a sharded invocation that skipped grid points owned
+    #: by other shards; exports wait for a merged store
+    complete: bool = True
 
     @property
     def ok(self) -> bool:
@@ -295,13 +299,21 @@ def run_dse(profiles: Sequence[ProtectionProfile], *,
             per_model: int = DEFAULT_PER_MODEL,
             parallel: bool = False, jobs: Optional[int] = None,
             export_path=None, csv_path=None,
-            engine: Optional[str] = None) -> DseReport:
+            engine: Optional[str] = None,
+            store_dir=None, shard: Optional[ShardSpec] = None) -> DseReport:
     """Sweep the profile list; one runner task per design point.
 
     ``engine="batch"`` routes each point's attack-synthesis and
     fault-injection campaigns through the bit-sliced batch engine; the
     overhead measurements stay scalar (they time the scalar engines) and
     the JSON/CSV artifacts are byte-identical either way.
+
+    ``store_dir`` caches each grid point's :class:`DesignPointRow` in a
+    persistent :class:`~repro.runner.store.ResultStore` (keyed by code
+    version + sweep context + profile), making large sweeps resumable;
+    ``shard`` evaluates one deterministic ``i/n`` slice of the grid
+    (requires a store) — exports wait for a merged store and are then
+    byte-identical to an uninterrupted serial sweep.
     """
     if not profiles:
         raise ValueError("the sweep needs at least one profile")
@@ -312,14 +324,30 @@ def run_dse(profiles: Sequence[ProtectionProfile], *,
                        workloads=tuple(workloads), programs=programs,
                        per_model=per_model)
     tasks = list(enumerate(profiles))
-    report.points = run_tasks(
-        _dse_task, tasks, jobs=jobs, parallel=parallel,
-        initializer=_init_dse_worker,
-        initargs=(key_seed, seed, tuple(workloads), scale, programs,
-                  per_model, engine))
+    store = ResultStore(store_dir) if store_dir is not None else None
+    keys = None
+    if store is not None:
+        context = {"seed": seed, "key_seed": key_seed, "scale": scale,
+                   "workloads": list(workloads), "programs": programs,
+                   "per_model": per_model}
+        keys = [task_key("dse", context, profile, engine=engine)
+                for _index, profile in tasks]
+
+    def execute(missing: List[Tuple[int, ProtectionProfile]]
+                ) -> List[DesignPointRow]:
+        return run_tasks(
+            _dse_task, missing, jobs=jobs, parallel=parallel,
+            initializer=_init_dse_worker,
+            initargs=(key_seed, seed, tuple(workloads), scale, programs,
+                      per_model, engine))
+
+    run = run_tasks_stored(execute, tasks, keys, store=store, shard=shard)
+    report.points = [point for point in run.results if point is not None]
+    report.complete = run.complete
     report.elapsed_seconds = time.perf_counter() - started
-    if export_path is not None:
-        dse_json(report.to_record(), export_path)
-    if csv_path is not None:
-        dse_csv(report.csv_rows(), csv_path)
+    if run.complete:
+        if export_path is not None:
+            dse_json(report.to_record(), export_path)
+        if csv_path is not None:
+            dse_csv(report.csv_rows(), csv_path)
     return report

@@ -10,9 +10,9 @@ from __future__ import annotations
 import csv
 import io
 import json
-from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..runner.export import atomic_write_text
 from .experiments import (BlockSizePoint, CachePoint, FanInPoint)
 from .overhead import OverheadRow
 
@@ -25,7 +25,7 @@ def _write(header: Sequence[str], rows: List[Sequence],
     writer.writerows(rows)
     text = buffer.getvalue()
     if path is not None:
-        Path(path).write_text(text)
+        atomic_write_text(path, text)
     return text
 
 
@@ -99,7 +99,7 @@ def attacksynth_json(record: Dict[str, Any],
     """
     text = json.dumps(record, indent=2, sort_keys=True) + "\n"
     if path is not None:
-        Path(path).write_text(text)
+        atomic_write_text(path, text)
     return text
 
 
@@ -136,7 +136,7 @@ def dse_json(record: Dict[str, Any], path: Optional[str] = None) -> str:
     """
     text = json.dumps(record, indent=2, sort_keys=True) + "\n"
     if path is not None:
-        Path(path).write_text(text)
+        atomic_write_text(path, text)
     return text
 
 
@@ -173,7 +173,7 @@ def batch_json(record: Dict[str, Any], path: Optional[str] = None) -> str:
     """
     text = json.dumps(record, indent=2, sort_keys=True) + "\n"
     if path is not None:
-        Path(path).write_text(text)
+        atomic_write_text(path, text)
     return text
 
 

@@ -27,6 +27,7 @@ the serial ones.
 from __future__ import annotations
 
 import enum
+import hashlib
 import random
 import time
 from dataclasses import dataclass, field
@@ -34,8 +35,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..crypto.keys import DeviceKeys
 from ..isa.program import AsmProgram
-from ..runner import (campaign_record, make_batches, resolve_jobs,
-                      run_tasks, write_campaign)
+from ..runner import (ResultStore, ShardSpec, campaign_record,
+                      make_batches, resolve_jobs, run_tasks,
+                      run_tasks_stored, task_key, write_campaign)
 from ..sim.batch import BATCH_WIDTH, LockstepLeader
 from ..sim.result import Status
 from ..sim.sofia import SofiaMachine
@@ -235,7 +237,8 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
                  parallel: bool = False, jobs: Optional[int] = None,
                  export_path=None, engine: Optional[str] = None,
                  profile=None, batch_width: int = BATCH_WIDTH,
-                 models: Optional[Sequence[str]] = None
+                 models: Optional[Sequence[str]] = None,
+                 store_dir=None, shard: Optional[ShardSpec] = None
                  ) -> "tuple[List[FaultResult], CampaignSummary]":
     """Full campaign on one program; returns per-fault results + summary.
 
@@ -252,6 +255,17 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
     stays byte-identical) — results and exports match the scalar path
     exactly, just faster.  ``models`` restricts the sampled population to
     the named fault models (default: all six).
+
+    ``store_dir`` makes the campaign incremental: each specimen's result
+    is content-addressed by (code version, image + run context, fault
+    spec, engine) in a :class:`~repro.runner.store.ResultStore` there,
+    cached specimens are loaded instead of simulated, and a killed
+    campaign resumed over the same store produces an export
+    byte-identical to an uninterrupted run (store-backed exports are
+    canonical: no wall-clock or worker-count field).  ``shard`` restricts
+    execution to one deterministic slice of the specimen list; the
+    summary then covers only the results present, and no export is
+    written until a merged store makes the campaign complete.
     """
     started = time.perf_counter()
     if profile is not None:
@@ -265,26 +279,49 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
     faults = sample_faults(image, baseline.instructions,
                            per_model=per_model, seed=seed, models=models,
                            rng=rng)
+    store = ResultStore(store_dir) if store_dir is not None else None
+    fault_keys = None
+    if store is not None:
+        # everything the worker context contributes to one result: the
+        # image is the content-determined build artifact, the keys are
+        # named by their provisioned values (never digest live objects)
+        context = {
+            "image": hashlib.sha256(image.to_bytes()).hexdigest(),
+            "keys": [keys.k1, keys.k2, keys.k3,
+                     keys.cipher_factory.__name__],
+            "golden": list(golden_output),
+            "max_instructions": max_instructions,
+        }
+        fault_keys = [task_key("fault-injection", context, fault,
+                               engine=engine) for fault in faults]
     global _WORKER_CTX
     try:
         initargs = (image, keys, list(golden_output), max_instructions,
                     engine)
-        if engine == "batch":
-            groups = make_batches(faults, batch_width)
-            results = [result for group_results in run_tasks(
-                _fault_batch_task, groups, jobs=jobs, parallel=parallel,
+
+        def execute(missing: List[FaultSpec]) -> List[FaultResult]:
+            # the batch engine is byte-identical to per-specimen runs at
+            # any grouping, so grouping only the missing faults is safe
+            if engine == "batch":
+                groups = make_batches(missing, batch_width)
+                return [result for group_results in run_tasks(
+                    _fault_batch_task, groups, jobs=jobs,
+                    parallel=parallel, initializer=_init_fault_worker,
+                    initargs=initargs) for result in group_results]
+            return run_tasks(
+                _fault_task, missing, jobs=jobs, parallel=parallel,
                 initializer=_init_fault_worker, initargs=initargs)
-                for result in group_results]
-        else:
-            results = run_tasks(
-                _fault_task, faults, jobs=jobs, parallel=parallel,
-                initializer=_init_fault_worker, initargs=initargs)
+
+        run = run_tasks_stored(execute, faults, fault_keys, store=store,
+                               shard=shard)
+        results = run.results
     finally:
         _WORKER_CTX = None  # release the image pinned by the serial path
     summary = CampaignSummary()
     for result in results:
-        summary.add(result)
-    if export_path is not None:
+        if result is not None:
+            summary.add(result)
+    if export_path is not None and run.complete:
         parameters = {"nonce": nonce, "per_model": per_model, "seed": seed,
                       "max_instructions": max_instructions,
                       "baseline_instructions": baseline.instructions}
@@ -292,8 +329,15 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
             # restricted populations record their surface; the default
             # all-models export layout is unchanged
             parameters["models"] = sorted(models)
-        write_campaign(export_path, campaign_record(
-            "fault-injection", parameters,
-            results, jobs=resolve_jobs(jobs) if parallel else 1,
-            elapsed_seconds=time.perf_counter() - started))
+        if store is not None:
+            # canonical export: resumed/merged runs must be byte-equal,
+            # so no wall-clock or worker-count field
+            record = campaign_record("fault-injection", parameters,
+                                     results)
+        else:
+            record = campaign_record(
+                "fault-injection", parameters, results,
+                jobs=resolve_jobs(jobs) if parallel else 1,
+                elapsed_seconds=time.perf_counter() - started)
+        write_campaign(export_path, record)
     return results, summary

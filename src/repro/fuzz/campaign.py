@@ -26,7 +26,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..crypto.keys import DeviceKeys
-from ..runner import run_tasks, task_rng, write_campaign
+from ..runner import (ResultStore, ShardSpec, run_tasks, run_tasks_stored,
+                      task_key, task_rng, write_campaign)
 from ..runner.cache import DEFAULT_KEY_SEED
 from .corpus import Corpus, specimen_sha
 from .coverage import CoverageMap
@@ -62,6 +63,11 @@ class FuzzReport:
     coverage: CoverageMap = field(default_factory=CoverageMap)
     corpus: Corpus = field(default_factory=Corpus)
     failures: List[TriageRecord] = field(default_factory=list)
+    #: a sharded invocation stopped at a sync point: the next planned
+    #: batch needs results owned by other shards.  Rerun the peer shards
+    #: (same store, or merge theirs in) until a ``--resume`` pass
+    #: completes; nothing is persisted for a pending run
+    pending: bool = False
 
     @property
     def divergences(self) -> int:
@@ -131,7 +137,9 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
              minimize_failures: bool = True,
              max_failures: int = 8,
              key_seed: int = DEFAULT_KEY_SEED,
-             engine: Optional[str] = None) -> FuzzReport:
+             engine: Optional[str] = None,
+             store_dir=None, shard: Optional[ShardSpec] = None
+             ) -> FuzzReport:
     """Run a campaign of ``seeds`` specimens; returns the full report.
 
     ``corpus_dir`` persists the corpus, ``coverage.json``,
@@ -142,6 +150,19 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
     ``engine="batch"`` widens every specimen's SOFIA engine axis to the
     three-way reference/predecoded/batch lockstep (see
     :func:`~repro.fuzz.oracle.run_oracle`).
+
+    ``store_dir`` caches every specimen's :class:`OracleReport` in a
+    persistent :class:`~repro.runner.store.ResultStore` keyed by code
+    version + (key seed, baselines, engine) + genome: a killed campaign
+    resumed over the same store replays its finished specimens and only
+    simulates the rest, converging on the same report.  ``shard``
+    distributes fuzzing round-by-round: each invocation executes its
+    deterministic slice of every planned batch, and stops at a *sync
+    point* (``report.pending``) once the next batch needs results owned
+    by other shards — the steering state is sequential across rounds by
+    design.  Alternate the shards over a shared (or merged) store until
+    a plain ``--resume`` pass replays the whole campaign; that pass is
+    byte-identical to an uninterrupted serial run.
     """
     started = time.perf_counter()
     keys = DeviceKeys.from_seed(key_seed)
@@ -151,6 +172,14 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
         coverage_path = Path(corpus_dir) / "coverage.json"
         if coverage_path.is_file():
             report.coverage = CoverageMap.load(coverage_path)
+    store = ResultStore(store_dir) if store_dir is not None else None
+    context = {"key_seed": key_seed, "baselines": include_baselines}
+
+    def execute(missing: List[Genome]) -> List[OracleReport]:
+        return run_tasks(_fuzz_task, missing,
+                         jobs=jobs, parallel=parallel,
+                         initializer=_init_fuzz_worker,
+                         initargs=(keys, include_baselines, engine))
 
     failing_reports: List[OracleReport] = []
     seen_failures = set()
@@ -162,10 +191,18 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
         size = min(batch, seeds - report.specimens)
         genomes = _plan_batch(seed, round_index, size,
                               report.coverage, report.corpus)
-        results = run_tasks(_fuzz_task, genomes,
-                            jobs=jobs, parallel=parallel,
-                            initializer=_init_fuzz_worker,
-                            initargs=(keys, include_baselines, engine))
+        genome_keys = None
+        if store is not None:
+            genome_keys = [task_key("fuzz", context, genome,
+                                    engine=engine) for genome in genomes]
+        run = run_tasks_stored(execute, genomes, genome_keys,
+                               store=store, shard=shard)
+        if not run.complete:
+            # sync point: the steering update needs the whole batch in
+            # task order, and the gaps belong to other shards
+            report.pending = True
+            break
+        results = run.results
         for oracle_report in results:
             report.specimens += 1
             report.instructions += oracle_report.instructions
@@ -179,6 +216,13 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
                     seen_failures.add(sha)
                     failing_reports.append(oracle_report)
         report.batches = round_index = round_index + 1
+
+    if report.pending:
+        # a sync-pointed shard must not persist: a partial corpus or
+        # triage directory would change the initial steering state of
+        # the next invocation and break replay determinism
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
 
     for oracle_report in failing_reports[:max_failures]:
         report.failures.append(

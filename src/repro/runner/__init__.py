@@ -25,7 +25,19 @@ across CPU cores:
 
 :mod:`repro.runner.export`
     ``campaign_record`` / ``write_campaign`` — structured JSON export of
-    any campaign's parameters and per-task results.
+    any campaign's parameters and per-task results (atomic writes,
+    canonically ordered sets).
+
+:mod:`repro.runner.store`
+    ``ResultStore`` / ``task_key`` / ``run_tasks_stored`` — a
+    persistent, content-addressed result cache keyed by
+    (code version, context digest, task digest, engine), making every
+    campaign incremental and resumable (``--resume``).
+
+:mod:`repro.runner.shard`
+    ``ShardSpec`` / ``parse_shard`` / ``merge_stores`` — deterministic
+    ``i/n`` partitioning of a campaign's task list across hosts, plus
+    the store union behind ``repro merge``.
 
 Design contract (every caller relies on these):
 
@@ -37,22 +49,31 @@ Design contract (every caller relies on these):
 * **Graceful degradation** — on a single-core host (or ``jobs=1``) the
   runner degrades to the serial path with zero multiprocessing overhead.
 
-Future scaling PRs (sharding, distributed backends, result streaming)
-plug in behind :func:`~repro.runner.pool.run_tasks` without touching the
-campaign call sites.
+* **Durability** — store and export writes are atomic; a campaign
+  killed at any instant leaves a store a ``--resume`` run can trust,
+  and resumed/merged artifacts are byte-identical to a cold serial run.
 """
 
 from .batching import make_batches
 from .cache import (DEFAULT_KEY_SEED, BuildCache, BuildSpec, CacheStats,
                     build_cache, clear_build_cache)
-from .export import campaign_record, to_jsonable, write_campaign
-from .pool import default_chunksize, resolve_jobs, run_tasks
+from .export import (atomic_write_text, campaign_record, to_jsonable,
+                     write_campaign)
+from .pool import available_cpus, default_chunksize, resolve_jobs, run_tasks
 from .seeding import task_rng, task_seed
+from .shard import ShardSpec, merge_stores, parse_shard, shard_partition
+from .store import (ResultStore, StoredRun, StoreStats, code_version,
+                    run_tasks_stored, stable_digest, task_key)
 
 __all__ = [
-    "run_tasks", "resolve_jobs", "default_chunksize", "make_batches",
+    "run_tasks", "resolve_jobs", "available_cpus", "default_chunksize",
+    "make_batches",
     "task_seed", "task_rng",
     "BuildCache", "BuildSpec", "CacheStats", "build_cache",
     "clear_build_cache", "DEFAULT_KEY_SEED",
     "campaign_record", "write_campaign", "to_jsonable",
+    "atomic_write_text",
+    "ResultStore", "StoredRun", "StoreStats", "code_version",
+    "run_tasks_stored", "stable_digest", "task_key",
+    "ShardSpec", "parse_shard", "shard_partition", "merge_stores",
 ]

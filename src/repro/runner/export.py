@@ -25,6 +25,8 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -38,11 +40,41 @@ def to_jsonable(value: Any) -> Any:
                 for f in dataclasses.fields(value)}
     if isinstance(value, dict):
         return {str(k): to_jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
+    if isinstance(value, (set, frozenset)):
+        # canonical order: Python set iteration follows the per-interpreter
+        # hash salt for strings, which would break the byte-identical
+        # export invariant (and the shard-merge proof) across processes
+        converted = [to_jsonable(v) for v in value]
+        return sorted(converted,
+                      key=lambda item: json.dumps(item, sort_keys=True))
+    if isinstance(value, (list, tuple)):
         return [to_jsonable(v) for v in value]
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return str(value)
+
+
+def atomic_write_text(path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A writer killed mid-call leaves either the previous content or
+    nothing at the final path — never a truncated file that a later
+    ``--resume`` would try to parse.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=target.parent,
+                                    prefix=target.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
 
 
 def campaign_record(name: str, parameters: Dict[str, Any],
@@ -64,7 +96,10 @@ def campaign_record(name: str, parameters: Dict[str, Any],
 
 
 def write_campaign(path, record: Dict[str, Any]) -> Path:
-    """Write a campaign record as pretty-printed JSON; returns the path."""
-    target = Path(path)
-    target.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
-    return target
+    """Write a campaign record as pretty-printed JSON; returns the path.
+
+    The write is atomic: a campaign killed mid-export never leaves a
+    truncated JSON document at the final path.
+    """
+    return atomic_write_text(
+        path, json.dumps(record, indent=2, sort_keys=False) + "\n")

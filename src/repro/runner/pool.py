@@ -26,10 +26,24 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: ``None`` means one per CPU, and at least one."""
-    if jobs is None:
+def available_cpus() -> int:
+    """CPUs actually usable by this process, and at least one.
+
+    ``os.cpu_count()`` reports the machine's core count even inside a
+    cgroup/affinity-limited container (CI runners routinely pin a 64-core
+    host down to 2), so prefer the scheduler affinity mask where the
+    platform provides it.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
         return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: ``None`` means one per available CPU, at least one."""
+    if jobs is None:
+        return available_cpus()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     return jobs
@@ -44,7 +58,7 @@ def default_chunksize(num_tasks: int, jobs: int) -> int:
     """
     if num_tasks <= 0:
         return 1
-    return max(1, num_tasks // (4 * jobs) or 1)
+    return max(1, num_tasks // (4 * jobs))
 
 
 def _fork_context():

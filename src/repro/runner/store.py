@@ -1,0 +1,312 @@
+"""Persistent, content-addressed result store for campaign tasks.
+
+Every campaign in this reproduction is an ordered list of *pure*,
+deterministic tasks: a result is fully determined by (the code that
+computed it, the shared worker context, the task payload, the execution
+engine).  That is exactly the property that makes results safely
+cacheable — so this module gives each task a content address
+
+    ``sha256(campaign, code_version, context, task, engine)``
+
+and persists its pickled result under that key in a directory store::
+
+    <root>/objects/<key[:2]>/<key>.pkl
+
+``run_tasks_stored`` is the campaign-facing seam: given the task list
+and its keys it loads every cached result, executes only the missing
+tasks (optionally restricted to one :class:`~repro.runner.shard.ShardSpec`
+of the list), stores what it computed, and returns the results in
+submission order.  Campaigns gain ``--resume`` (kill a sweep, rerun it,
+only the unfinished tasks execute; the merged artifact is byte-identical
+to a cold serial run) and ``--shard i/n`` (independent hosts each fill
+their slice of one store; ``repro merge`` unions the stores and a final
+``--resume`` pass emits the serial-identical artifact) without changing
+how their workers or exports behave.
+
+Keys embed :func:`code_version` — a digest of every ``repro/*.py``
+source file — so any change to the code that could change a result
+invalidates the whole store at once.  That policy is deliberately
+coarse: stale results silently surviving a refactor would break the
+byte-identical merge proof, while over-invalidation merely costs a warm
+rerun.  ``REPRO_CODE_VERSION`` overrides the digest (pin it across a
+heterogeneous fleet, or version a store by release tag).
+
+Writes are atomic (temp file + ``os.replace``): a campaign killed
+mid-``put`` leaves either a complete entry or none, never a truncated
+pickle, so ``--resume`` can always trust what it finds.  Entries that
+fail to load (foreign files, partial copies) are treated as missing and
+recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Callable, Iterator, List, Optional, Sequence,
+                    TypeVar)
+
+from .export import to_jsonable
+from .shard import ShardSpec
+
+T = TypeVar("T")
+
+_CODE_VERSION: Optional[str] = None
+
+#: sentinel distinguishing "absent" from a stored ``None``
+_MISSING = object()
+
+
+def code_version() -> str:
+    """Digest of the repro package sources (the store invalidation key).
+
+    Hashes every ``*.py`` file under ``src/repro/`` by relative path and
+    content, memoized per process.  The ``REPRO_CODE_VERSION``
+    environment variable overrides the computed digest.
+    """
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix()
+                          .encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical (sorted-keys, minimal) JSON form of ``value``.
+
+    Built on :func:`~repro.runner.export.to_jsonable`, which orders sets
+    canonically — the same digest on every interpreter and host.
+    """
+    return json.dumps(to_jsonable(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def stable_digest(value: Any) -> str:
+    """A host- and interpreter-independent SHA-256 of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def task_key(campaign: str, context: Any, task: Any, *,
+             engine: Optional[str] = None,
+             code: Optional[str] = None) -> str:
+    """The content address of one task's result.
+
+    ``context`` is everything the worker context contributes to the
+    result (build inputs, key material identity, budgets); ``task`` is
+    the per-task payload.  Both must reduce to primitives under
+    :func:`~repro.runner.export.to_jsonable` — pass explicit dicts of
+    primitives, never objects whose ``str()`` embeds memory addresses.
+    """
+    material = {
+        "campaign": campaign,
+        "code": code if code is not None else code_version(),
+        "context": to_jsonable(context),
+        "task": to_jsonable(task),
+        "engine": engine,
+    }
+    return hashlib.sha256(
+        json.dumps(material, sort_keys=True, separators=(",", ":"))
+        .encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/put counters (the warm-rerun-does-no-work proof hook)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> "dict[str, int]":
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts}
+
+
+class ResultStore:
+    """A directory of content-addressed pickled task results."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    def _path(self, key: str) -> Path:
+        return self._objects / key[:2] / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        """Every stored key, in deterministic (sorted) order."""
+        for path in sorted(self._objects.glob("*/*.pkl")):
+            yield path.stem
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The stored result for ``key``, or ``default`` when absent.
+
+        Unreadable entries (foreign files, torn copies from a non-atomic
+        transport) count as absent: the task simply reruns and the entry
+        is rewritten.
+        """
+        try:
+            payload = self._path(key).read_bytes()
+            value = pickle.loads(payload)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Persist ``value`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=4)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def absorb(self, source: "ResultStore") -> "tuple[int, int]":
+        """Copy every entry of ``source`` absent here; (copied, present).
+
+        The same key holding a different payload raises — for
+        deterministic tasks that means mismatched code versions or a
+        corrupted store, and the merge proof forbids guessing.
+        """
+        copied = present = 0
+        for key in source.keys():
+            payload = source._path(key).read_bytes()
+            path = self._path(key)
+            if path.is_file():
+                if path.read_bytes() != payload:
+                    raise ValueError(
+                        f"conflicting results for key {key}: the shard "
+                        f"stores disagree (mixed code versions?)")
+                present += 1
+                continue
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                            prefix=path.name,
+                                            suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            copied += 1
+        return copied, present
+
+
+@dataclass
+class StoredRun:
+    """What :func:`run_tasks_stored` did: results + provenance counters."""
+
+    #: result per task in submission order; ``None`` marks a task this
+    #: invocation neither found cached nor owned (shard mode only)
+    results: List[Any]
+    hits: int = 0
+    executed: int = 0
+    skipped: int = 0
+    shard: Optional[ShardSpec] = None
+
+    @property
+    def complete(self) -> bool:
+        """Is every task's result present (loaded or computed)?"""
+        return self.skipped == 0
+
+    def summary(self) -> str:
+        parts = [f"{len(self.results)} tasks", f"{self.hits} cached",
+                 f"{self.executed} executed"]
+        if self.skipped:
+            parts.append(f"{self.skipped} owned by other shards")
+        if self.shard is not None:
+            parts.append(f"shard {self.shard.label}")
+        return ", ".join(parts)
+
+
+def run_tasks_stored(execute: Callable[[List[T]], List[Any]],
+                     tasks: Sequence[T],
+                     keys: Optional[Sequence[str]] = None, *,
+                     store: Optional[ResultStore] = None,
+                     shard: Optional[ShardSpec] = None) -> StoredRun:
+    """Run ``tasks`` through ``execute`` with store-backed memoization.
+
+    ``execute`` receives the (ordered) sub-list of tasks that must
+    actually run and returns their results in the same order — campaigns
+    pass a closure over :func:`~repro.runner.pool.run_tasks` so jobs,
+    initializers and batching stay theirs.  With a ``store``, cached
+    results are loaded first and fresh ones persisted; with a ``shard``,
+    only missing tasks *owned* by the shard execute and the rest are
+    reported as skipped.  Results always come back in submission order,
+    so a complete run is indistinguishable from a plain
+    ``execute(tasks)`` call.
+    """
+    task_list = list(tasks)
+    if shard is not None and store is None:
+        raise ValueError("sharding requires a result store "
+                         "(--shard without --resume loses the results)")
+    if store is None:
+        results = execute(task_list) if task_list else []
+        if len(results) != len(task_list):
+            raise ValueError(f"execute returned {len(results)} results "
+                             f"for {len(task_list)} tasks")
+        return StoredRun(results=list(results), executed=len(task_list))
+    key_list = list(keys or ())
+    if len(key_list) != len(task_list):
+        raise ValueError(f"{len(task_list)} tasks need exactly that many "
+                         f"keys, got {len(key_list)}")
+    results: List[Any] = [None] * len(task_list)
+    missing: List[int] = []
+    hits = 0
+    for index, key in enumerate(key_list):
+        value = store.get(key, _MISSING)
+        if value is _MISSING:
+            missing.append(index)
+        else:
+            results[index] = value
+            hits += 1
+    owned = [i for i in missing if shard is None or shard.owns(i)]
+    if owned:
+        fresh = execute([task_list[i] for i in owned])
+        if len(fresh) != len(owned):
+            raise ValueError(f"execute returned {len(fresh)} results "
+                             f"for {len(owned)} tasks")
+        for index, value in zip(owned, fresh):
+            store.put(key_list[index], value)
+            results[index] = value
+    return StoredRun(results=results, hits=hits, executed=len(owned),
+                     skipped=len(missing) - len(owned), shard=shard)

@@ -1,0 +1,224 @@
+"""Kill/resume and shard-union equivalence for store-backed campaigns.
+
+The durability contract under test: a campaign killed at an arbitrary
+point and resumed over its store — or split across shards whose stores
+are merged — emits artifacts byte-identical to an uninterrupted serial
+run.  The SIGKILL cases run the fault campaign in a subprocess whose
+``ResultStore.put`` kills the process after a deterministic number of
+persisted results; the shard cases split the attack-synthesis and fuzz
+campaigns across invocations at mixed worker counts.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.attacksynth import run_attacksynth
+from repro.crypto import DeviceKeys
+from repro.dse import run_dse
+from repro.faults import run_campaign as fault_campaign
+from repro.fuzz import run_fuzz
+from repro.runner import ResultStore, ShardSpec, merge_stores
+from repro.transform import ProtectionProfile
+from repro.workloads import make_workload
+
+KEYS = DeviceKeys.from_seed(0xFA)
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+#: runs a store-backed fault campaign, SIGKILLing the process after the
+#: Nth persisted result — the deterministic mid-campaign crash
+_KILLED_CAMPAIGN = textwrap.dedent("""
+    import os, signal, sys
+    from repro.runner.store import ResultStore
+
+    kill_after = int(sys.argv[1])
+    real_put = ResultStore.put
+    puts = [0]
+
+    def killing_put(self, key, value):
+        real_put(self, key, value)
+        puts[0] += 1
+        if puts[0] >= kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    ResultStore.put = killing_put
+
+    from repro.crypto import DeviceKeys
+    from repro.faults import run_campaign
+    from repro.workloads import make_workload
+
+    workload = make_workload("crc32", "tiny")
+    run_campaign(workload.compile().program, DeviceKeys.from_seed(0xFA),
+                 workload.expected_output, per_model=2, seed=9,
+                 store_dir=sys.argv[2], export_path=sys.argv[3])
+""")
+
+
+def _fault_campaign_store(store_dir, export_path, **kwargs):
+    workload = make_workload("crc32", "tiny")
+    return fault_campaign(workload.compile().program, KEYS,
+                          workload.expected_output, per_model=2, seed=9,
+                          store_dir=store_dir, export_path=export_path,
+                          **kwargs)
+
+
+class TestKillResume:
+    @pytest.mark.parametrize("kill_after", [1, 7])
+    def test_sigkilled_campaign_resumes_byte_identical(self, tmp_path,
+                                                       kill_after):
+        golden = tmp_path / "golden.json"
+        _fault_campaign_store(tmp_path / "golden-store", golden)
+
+        store_dir = tmp_path / "store"
+        export = tmp_path / "resumed.json"
+        proc = subprocess.run(
+            [sys.executable, "-c", _KILLED_CAMPAIGN, str(kill_after),
+             str(store_dir), str(export)],
+            env={**os.environ, "PYTHONPATH": SRC_DIR},
+            capture_output=True, text=True)
+        assert proc.returncode == -9, proc.stderr
+        assert not export.exists()  # died before the export
+        partial = ResultStore(store_dir)
+        assert len(partial) == kill_after  # atomic puts, no torn entry
+
+        results, summary = _fault_campaign_store(store_dir, export)
+        assert export.read_bytes() == golden.read_bytes()
+        assert partial.stats.hits == 0  # fresh handle; resumed in-place
+        assert sum(n for per_model in summary.counts.values()
+                   for n in per_model.values()) == len(results)
+
+    def test_warm_store_rerun_executes_nothing(self, tmp_path):
+        export = tmp_path / "cold.json"
+        _fault_campaign_store(tmp_path / "store", export)
+        cold_bytes = export.read_bytes()
+
+        import repro.faults.campaign as faults_campaign
+        real_run_tasks = faults_campaign.run_tasks
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("warm rerun must not simulate")
+
+        faults_campaign.run_tasks = forbidden
+        try:
+            warm = tmp_path / "warm.json"
+            _fault_campaign_store(tmp_path / "store", warm)
+        finally:
+            faults_campaign.run_tasks = real_run_tasks
+        assert warm.read_bytes() == cold_bytes
+
+
+class TestShardedAttacksynth:
+    def test_three_way_split_at_mixed_jobs(self, tmp_path):
+        params = dict(programs=3, seed=21, per_program=3)
+        golden = tmp_path / "golden.json"
+        golden_csv = tmp_path / "golden.csv"
+        run_attacksynth(export_path=golden, csv_path=golden_csv, **params)
+
+        job_mix = {1: dict(parallel=True, jobs=2),
+                   2: dict(parallel=False),
+                   3: dict(parallel=True, jobs=3)}
+        for index in (1, 2, 3):
+            export = tmp_path / f"shard{index}.json"
+            report = run_attacksynth(
+                store_dir=tmp_path / f"store{index}",
+                shard=ShardSpec(index=index, count=3),
+                export_path=export, **params, **job_mix[index])
+            assert not report.complete
+            assert not export.exists()  # incomplete runs never export
+
+        copied, present = merge_stores(
+            tmp_path / "merged",
+            [tmp_path / f"store{i}" for i in (1, 2, 3)])
+        assert present == 0  # round-robin slices are disjoint
+
+        final = tmp_path / "final.json"
+        final_csv = tmp_path / "final.csv"
+        report = run_attacksynth(store_dir=tmp_path / "merged",
+                                 export_path=final, csv_path=final_csv,
+                                 **params)
+        assert report.complete
+        assert copied == len(report.programs)
+        assert final.read_bytes() == golden.read_bytes()
+        assert final_csv.read_bytes() == golden_csv.read_bytes()
+
+
+class TestShardedFuzz:
+    def test_shard_alternation_converges_to_serial_run(self, tmp_path):
+        params = dict(seeds=20, batch=10, seed=7)
+        golden = run_fuzz(**params)
+
+        store_dir = tmp_path / "store"
+        for _round in range(10):
+            pending = False
+            for index in (1, 2):
+                report = run_fuzz(store_dir=store_dir,
+                                  shard=ShardSpec(index=index, count=2),
+                                  **params)
+                pending = pending or report.pending
+            if not pending:
+                break
+        else:
+            pytest.fail("fuzz shards never reached a complete round")
+
+        resumed = run_fuzz(store_dir=store_dir, **params)
+        assert not resumed.pending
+        assert resumed.specimens == golden.specimens
+        assert resumed.coverage.summary() == golden.coverage.summary()
+        assert resumed.corpus.shas() == golden.corpus.shas()
+        assert [r.sha for r in resumed.failures] == \
+            [r.sha for r in golden.failures]
+
+    def test_pending_shard_persists_nothing(self, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        report = run_fuzz(seeds=20, batch=10, seed=7,
+                          corpus_dir=corpus_dir,
+                          store_dir=tmp_path / "store",
+                          shard=ShardSpec(index=1, count=2))
+        assert report.pending
+        # a partial corpus would change the next invocation's steering
+        assert not corpus_dir.exists()
+
+
+class TestStoredDse:
+    PROFILES = [ProtectionProfile(),
+                ProtectionProfile(cipher="present-80", mac_words=1,
+                                  renonce="fixed")]
+    PARAMS = dict(seed=77, workloads=("crc32",), scale="tiny",
+                  programs=1, per_model=1)
+
+    def test_warm_resume_is_byte_identical_and_free(self, tmp_path):
+        cold_json, cold_csv = tmp_path / "c.json", tmp_path / "c.csv"
+        run_dse(self.PROFILES, store_dir=tmp_path / "store",
+                export_path=cold_json, csv_path=cold_csv, **self.PARAMS)
+
+        import repro.dse.campaign as dse_campaign
+        real_run_tasks = dse_campaign.run_tasks
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("warm rerun must not evaluate points")
+
+        dse_campaign.run_tasks = forbidden
+        try:
+            warm_json, warm_csv = tmp_path / "w.json", tmp_path / "w.csv"
+            report = run_dse(self.PROFILES, store_dir=tmp_path / "store",
+                             export_path=warm_json, csv_path=warm_csv,
+                             **self.PARAMS)
+        finally:
+            dse_campaign.run_tasks = real_run_tasks
+        assert report.complete
+        assert warm_json.read_bytes() == cold_json.read_bytes()
+        assert warm_csv.read_bytes() == cold_csv.read_bytes()
+
+    def test_sharded_sweep_waits_for_merge(self, tmp_path):
+        export = tmp_path / "sharded.json"
+        report = run_dse(self.PROFILES, store_dir=tmp_path / "s1",
+                         shard=ShardSpec(index=1, count=2),
+                         export_path=export, **self.PARAMS)
+        assert not report.complete
+        assert len(report.points) == 1  # its slice only
+        assert not export.exists()

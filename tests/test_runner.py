@@ -6,7 +6,11 @@ per-process build cache that protects each image once per spec.
 """
 
 import json
+import os
 import random
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -17,7 +21,8 @@ from repro.eval.overhead import (OverheadPoint, measure_many,
 from repro.faults import run_campaign as fault_campaign
 from repro.faults import sample_faults
 from repro.isa import parse
-from repro.runner import (build_cache, campaign_record, clear_build_cache,
+from repro.runner import (atomic_write_text, available_cpus, build_cache,
+                          campaign_record, clear_build_cache,
                           default_chunksize, resolve_jobs, run_tasks,
                           task_rng, task_seed, to_jsonable, write_campaign)
 from repro.security.montecarlo import forgery_scaling, tamper_detection
@@ -69,6 +74,15 @@ class TestPool:
         assert resolve_jobs(None) >= 1
         with pytest.raises(ValueError):
             resolve_jobs(0)
+
+    def test_default_jobs_follow_scheduler_affinity(self):
+        # os.cpu_count() reports the whole machine even when a cgroup
+        # pins this process to fewer cores; the pool must size itself by
+        # what it can actually use
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no scheduler affinity mask")
+        assert available_cpus() == len(os.sched_getaffinity(0))
+        assert resolve_jobs(None) == available_cpus()
 
     def test_default_chunksize(self):
         assert default_chunksize(0, 4) == 1
@@ -225,6 +239,49 @@ class TestExport:
         assert loaded["jobs"] == 2
         assert loaded["elapsed_seconds"] == 0.5
         assert loaded["results"] == [1, 2, 3]
+
+    def test_sets_serialize_canonically(self):
+        assert to_jsonable({"models", "code", "skip"}) == \
+            ["code", "models", "skip"]
+        assert to_jsonable(frozenset([3, 1, 2])) == [1, 2, 3]
+        # mixed types order by their canonical JSON form, not by hash
+        assert to_jsonable({(1, 2), (0, 9)}) == [[0, 9], [1, 2]]
+
+    def test_set_order_is_hash_seed_independent(self, tmp_path):
+        # string set iteration follows the per-interpreter hash salt;
+        # the export layer must not leak it into the JSON byte stream
+        snippet = (
+            "import json; from repro.runner import to_jsonable; "
+            "print(json.dumps(to_jsonable("
+            "{'alpha', 'beta', 'gamma', 'delta', 'epsilon'})))")
+        src_dir = str(Path(__file__).resolve().parent.parent / "src")
+        outputs = set()
+        for hash_seed in ("0", "42"):
+            proc = subprocess.run(
+                [sys.executable, "-c", snippet],
+                env={**os.environ, "PYTHONPATH": src_dir,
+                     "PYTHONHASHSEED": hash_seed},
+                capture_output=True, text=True, check=True)
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1
+        assert json.loads(outputs.pop()) == \
+            ["alpha", "beta", "delta", "epsilon", "gamma"]
+
+    def test_atomic_write_replaces_or_leaves_old_content(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_text(target, "first")
+        assert target.read_text() == "first"
+        # a writer that dies mid-call must leave the old content intact
+        # at the final path, with no temp debris beside it
+        with pytest.raises(TypeError):
+            atomic_write_text(target, 0xBAD)  # not str: write() raises
+        assert target.read_text() == "first"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_failed_write_to_fresh_path_leaves_nothing(self, tmp_path):
+        with pytest.raises(TypeError):
+            atomic_write_text(tmp_path / "fresh.json", 0xBAD)
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestCli:
