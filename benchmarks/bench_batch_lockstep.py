@@ -115,7 +115,7 @@ def test_batch_lockstep_smoke():
         _fault_fields(r) for r in batch]
 
 
-def test_fault_campaign_speedup(tmp_path):
+def test_fault_campaign_speedup(tmp_path, bench_environment):
     """E18 gate: >= 5x specimens/sec on the detect-heavy E15 population,
     plus an E17 design-point row and the mixed-model regime, all
     byte-identical; artifacts exported through batch_json/batch_csv."""
@@ -166,6 +166,7 @@ def test_fault_campaign_speedup(tmp_path):
                        "models": sorted(PROTECTED_MODELS)},
         "workloads": sorted(r["workload"] for r in rows),
         "identical": all(r["identical"] for r in rows),
+        "environment": bench_environment(engine="batch"),
     }
     text = batch_json(record, tmp_path / "e18_batch.json")
     assert json.loads(text)["identical"] is True

@@ -15,9 +15,11 @@ contributing the bulk of new keys, and a floor on throughput loose
 enough for any CI host.
 """
 
+import json
 import time
 
 from repro.fuzz import CoverageMap, Genome, generate, run_fuzz, run_oracle
+from repro.obs import Telemetry, campaign as obs_campaign
 from repro.runner import task_rng
 from repro.fuzz.generators import random_genome
 
@@ -68,6 +70,51 @@ def test_fuzz_throughput(keys):
     assert curve[0][0] > curve[-1][0]
     # loose floor: the oracle is 4 full simulator runs per specimen
     assert rate > 2.0, f"fuzz throughput collapsed: {rate:.2f} programs/sec"
+
+
+def test_telemetry_overhead(tmp_path, bench_environment):
+    """Telemetry tax on the E15 loop: same campaign with and without a
+    :class:`repro.obs.Telemetry` attached.  The disabled path is the
+    byte-identical historical code (0% by construction — asserted via
+    identical reports); the enabled path budget is < 5%, asserted with a
+    loose floor so CI scheduling noise cannot flake the build.  The
+    measured rates land in an environment-stamped JSON record."""
+    seeds, seed = 60, 0x5EED
+
+    started = time.perf_counter()
+    plain = run_fuzz(seeds=seeds, seed=seed)
+    t_plain = time.perf_counter() - started
+
+    telemetry = Telemetry(directory=tmp_path / "telemetry")
+    started = time.perf_counter()
+    with obs_campaign(telemetry, "fuzz", {"seeds": seeds, "seed": seed}):
+        observed = run_fuzz(seeds=seeds, seed=seed, telemetry=telemetry)
+    t_observed = time.perf_counter() - started
+
+    # invisibility: the campaign outcome is identical either way
+    assert observed.specimens == plain.specimens
+    assert len(observed.corpus) == len(plain.corpus)
+    assert observed.coverage.summary() == plain.coverage.summary()
+    assert observed.divergences == plain.divergences
+
+    overhead = t_observed / t_plain - 1.0
+    print(f"\ntelemetry overhead: off {seeds / t_plain:,.1f}/s, "
+          f"on {seeds / t_observed:,.1f}/s ({overhead:+.1%}, budget <5%)")
+    record = {
+        "experiment": "E15",
+        "campaign": "fuzz-telemetry-overhead",
+        "parameters": {"seeds": seeds, "seed": seed},
+        "seconds_plain": round(t_plain, 3),
+        "seconds_telemetry": round(t_observed, 3),
+        "overhead": round(overhead, 4),
+        "environment": bench_environment(engine="predecoded"),
+    }
+    path = tmp_path / "e15_telemetry_overhead.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    assert json.loads(path.read_text())["environment"]["cpus"] >= 1
+    # loose CI floor (the real budget is 5%; timing asserts must not flake)
+    assert t_observed < t_plain * 1.5, (
+        f"telemetry overhead exploded: {overhead:+.1%}")
 
 
 def test_replay_of_one_genome_is_free_of_drift(keys):

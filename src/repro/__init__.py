@@ -18,6 +18,7 @@ This package rebuilds the whole system in Python:
 * :mod:`repro.attacks`   — injection/tamper/relocation/reuse campaign
 * :mod:`repro.hwmodel`   — FPGA area/clock model (Table I)
 * :mod:`repro.security`  — §IV-A bounds + Monte-Carlo experiments
+* :mod:`repro.obs`       — campaign telemetry: events, metrics, traces
 * :mod:`repro.eval`      — regenerates every table and figure
 
 Quickstart::

@@ -34,6 +34,7 @@ from ..fuzz.corpus import Corpus
 from ..fuzz.generators import Genome, generate, random_genome
 from ..fuzz.oracle import build_program
 from ..isa.assembler import assemble
+from ..obs import phase as obs_phase
 from ..runner import (ResultStore, ShardSpec, run_tasks, run_tasks_stored,
                       task_key, task_rng)
 from ..runner.cache import DEFAULT_KEY_SEED
@@ -385,7 +386,8 @@ def run_attacksynth(programs: int = DEFAULT_PROGRAMS, *,
                     export_path=None, csv_path=None,
                     engine: Optional[str] = None,
                     store_dir=None,
-                    shard: Optional[ShardSpec] = None) -> SynthReport:
+                    shard: Optional[ShardSpec] = None,
+                    telemetry=None) -> SynthReport:
     """Enumerate and run attacks over ``programs`` protected programs.
 
     ``profile`` seals every victim under that design point (the genome
@@ -405,10 +407,16 @@ def run_attacksynth(programs: int = DEFAULT_PROGRAMS, *,
     slice of the victim list (requires a store) — exports are skipped
     until a merged store completes the campaign, and are then
     byte-identical to an uninterrupted serial run.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, default ``None``)
+    records phases, per-victim spans, and simulator counters — strictly
+    observationally: the report and exports are byte-identical either
+    way.
     """
     started = time.perf_counter()
     profile = profile or DEFAULT_PROFILE
-    source, genomes = _campaign_genomes(programs, seed, corpus_dir)
+    with obs_phase(telemetry, "plan"):
+        source, genomes = _campaign_genomes(programs, seed, corpus_dir)
     report = SynthReport(seed=seed, key_seed=key_seed, source=source,
                          per_program=per_program,
                          include_baselines=include_baselines,
@@ -429,15 +437,18 @@ def run_attacksynth(programs: int = DEFAULT_PROGRAMS, *,
             _synth_task, missing, jobs=jobs, parallel=parallel,
             initializer=_init_synth_worker,
             initargs=(key_seed, seed, per_program, include_baselines,
-                      profile, engine))
+                      profile, engine), telemetry=telemetry)
 
-    run = run_tasks_stored(execute, tasks, keys, store=store, shard=shard)
+    with obs_phase(telemetry, "execute"):
+        run = run_tasks_stored(execute, tasks, keys, store=store,
+                               shard=shard, telemetry=telemetry)
     report.programs = [outcome for outcome in run.results
                        if outcome is not None]
     report.complete = run.complete
     report.elapsed_seconds = time.perf_counter() - started
     if run.complete:
-        _export(report, export_path, csv_path)
+        with obs_phase(telemetry, "export"):
+            _export(report, export_path, csv_path)
     return report
 
 

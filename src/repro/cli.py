@@ -13,7 +13,11 @@ The toolchain workflow as a developer would drive it:
 ``attacksynth``     synthesize attacks against generated programs (E16)
 ``fuzz``            coverage-guided differential fuzzing campaign (E15)
 ``dse``             design-space sweep over protection profiles (E17)
+``fault``           fault-injection campaign on a workload (E11)
+``montecarlo``      truncated-MAC Monte-Carlo experiments (E9)
 ``merge``           union sharded campaign result stores (E19)
+``stats``           summarize a ``--telemetry`` directory
+``version``         print package version + store code digest
 ``experiments``     regenerate paper tables/figures (E1, E2, ...)
 ``report``          write the full E1–E11 evaluation report
 ==================  ====================================================
@@ -40,7 +44,16 @@ and the final artifacts are byte-identical to an uninterrupted serial
 run — and ``--shard I/N`` (requires ``--resume``), which executes one
 deterministic slice of the task list so N hosts can split a campaign;
 ``repro merge`` unions the shard stores and a final ``--resume`` pass
-emits the serial-identical artifact.  Exit
+emits the serial-identical artifact.
+
+Every campaign command (``fault``, ``fuzz``, ``attacksynth``, ``dse``,
+``montecarlo``) accepts ``--telemetry DIR`` (structured JSONL events,
+merged metrics, and a chrome-trace timeline under DIR — summarize with
+``repro stats DIR``) and ``--progress`` (a throttled stderr heartbeat
+with tasks/sec and ETA).  Telemetry is strictly observational: campaign
+artifacts are byte-identical with it on or off.  The global ``--quiet``
+flag silences the informational ``#``-prefixed stderr notes (errors and
+stdout artifacts are unaffected).  Exit
 status: 0 on success, 1 on a program error (assembly/compile/transform
 failure), 2 on bad usage.
 """
@@ -52,7 +65,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from . import core
+from . import core, obs
 from .attacks import format_matrix, run_campaign
 from .crypto.keys import DeviceKeys
 from .errors import ReproError
@@ -85,7 +98,7 @@ def _print_result(result) -> int:
             print(value)
     if result.output_text:
         print(result.output_text, end="")
-    print(f"# {result.summary()}", file=sys.stderr)
+    obs.note(f"# {result.summary()}")
     return 0 if result.ok else 1
 
 
@@ -139,11 +152,10 @@ def cmd_protect(args) -> int:
         print(list_image(image, keys))
     Path(args.output).write_bytes(image.to_bytes())
     stats = image.stats
-    print(f"# wrote {args.output}: {image.code_size_bytes} bytes, "
-          f"{image.num_blocks} blocks "
-          f"({stats.mux_blocks} mux, {stats.tree_nodes} tree), "
-          f"expansion {stats.expansion_ratio:.2f}x, verified OK",
-          file=sys.stderr)
+    obs.note(f"# wrote {args.output}: {image.code_size_bytes} bytes, "
+             f"{image.num_blocks} blocks "
+             f"({stats.mux_blocks} mux, {stats.tree_nodes} tree), "
+             f"expansion {stats.expansion_ratio:.2f}x, verified OK")
     return 0
 
 
@@ -202,10 +214,9 @@ def _check_shard(args) -> Optional[str]:
 
 def _shard_note(args, progress: str) -> None:
     """Progress note for a sharded (incomplete) campaign invocation."""
-    print(f"# shard {args.shard.label}: {progress} into {args.resume}; "
-          f"run the other shards, `repro merge` their stores, then rerun "
-          f"with --resume only to emit the campaign artifacts",
-          file=sys.stderr)
+    obs.note(f"# shard {args.shard.label}: {progress} into {args.resume}; "
+             f"run the other shards, `repro merge` their stores, then "
+             f"rerun with --resume only to emit the campaign artifacts")
 
 
 def _add_store_args(p) -> None:
@@ -218,6 +229,24 @@ def _add_store_args(p) -> None:
                    metavar="I/N",
                    help="execute one deterministic slice of the task "
                         "list: 1-based shard I of N (requires --resume)")
+
+
+def _add_obs_args(p) -> None:
+    """``--telemetry`` / ``--progress`` flags shared by campaign commands."""
+    p.add_argument("--telemetry", metavar="DIR", default=None,
+                   help="record structured events, merged metrics and a "
+                        "chrome-trace timeline under DIR (strictly "
+                        "observational; see `repro stats DIR`)")
+    p.add_argument("--progress", action="store_true",
+                   help="throttled stderr heartbeat: tasks done/total, "
+                        "tasks/sec, ETA (cache/shard aware)")
+
+
+def _make_telemetry(args):
+    """A :class:`repro.obs.Telemetry` for this invocation, or ``None``."""
+    if args.telemetry is None and not args.progress:
+        return None
+    return obs.Telemetry(directory=args.telemetry, progress=args.progress)
 
 
 def _parse_jobs(jobs: int) -> "tuple[bool, Optional[int]]":
@@ -237,7 +266,7 @@ def cmd_attack(args) -> int:
                            export_path=args.export)
     print(format_matrix(results))
     if args.export:
-        print(f"# wrote {args.export}", file=sys.stderr)
+        obs.note(f"# wrote {args.export}")
     return 0
 
 
@@ -264,7 +293,9 @@ def cmd_attacksynth(args) -> int:
                       ("--profile", args.profile is not None),
                       ("--jobs", args.jobs != 1),
                       ("--resume", args.resume is not None),
-                      ("--shard", args.shard is not None)) if given]
+                      ("--shard", args.shard is not None),
+                      ("--telemetry", args.telemetry is not None),
+                      ("--progress", args.progress)) if given]
         if conflicts:
             print(f"error: {', '.join(conflicts)} cannot be combined "
                   f"with --image (single-image mode is serial and "
@@ -277,12 +308,19 @@ def cmd_attacksynth(args) -> int:
             csv_path=args.csv, engine=args.engine)
     else:
         programs = args.programs if args.programs is not None else 200
-        report = run_attacksynth(
-            programs, seed=args.seed, per_program=args.per_program,
-            parallel=parallel, jobs=jobs, corpus_dir=args.corpus,
-            include_baselines=args.baselines, key_seed=args.key_seed,
-            profile=profile, export_path=args.export, csv_path=args.csv,
-            engine=args.engine, store_dir=args.resume, shard=args.shard)
+        telemetry = _make_telemetry(args)
+        with obs.campaign(telemetry, "attacksynth",
+                          {"programs": programs, "seed": args.seed,
+                           "jobs": args.jobs,
+                           "engine": args.engine or "predecoded"}):
+            report = run_attacksynth(
+                programs, seed=args.seed, per_program=args.per_program,
+                parallel=parallel, jobs=jobs, corpus_dir=args.corpus,
+                include_baselines=args.baselines, key_seed=args.key_seed,
+                profile=profile, export_path=args.export,
+                csv_path=args.csv, engine=args.engine,
+                store_dir=args.resume, shard=args.shard,
+                telemetry=telemetry)
     if report.instances == 0 and report.complete:
         for label, error in report.build_errors:
             print(f"error: {label}: {error}", file=sys.stderr)
@@ -298,7 +336,7 @@ def cmd_attacksynth(args) -> int:
         return 0 if report.ok else 1
     for path in (args.export, args.csv):
         if path:
-            print(f"# wrote {path}", file=sys.stderr)
+            obs.note(f"# wrote {path}")
     return 0 if report.ok else 1
 
 
@@ -319,12 +357,18 @@ def cmd_dse(args) -> int:
     kwargs = {}
     if workloads:
         kwargs["workloads"] = workloads
-    report = run_dse(profiles, seed=args.seed, key_seed=args.key_seed,
-                     scale=args.scale, programs=args.programs,
-                     per_model=args.per_model, parallel=parallel,
-                     jobs=jobs, export_path=args.export,
-                     csv_path=args.csv, engine=args.engine,
-                     store_dir=args.resume, shard=args.shard, **kwargs)
+    telemetry = _make_telemetry(args)
+    with obs.campaign(telemetry, "dse",
+                      {"profiles": len(profiles), "seed": args.seed,
+                       "scale": args.scale, "jobs": args.jobs,
+                       "engine": args.engine or "predecoded"}):
+        report = run_dse(profiles, seed=args.seed, key_seed=args.key_seed,
+                         scale=args.scale, programs=args.programs,
+                         per_model=args.per_model, parallel=parallel,
+                         jobs=jobs, export_path=args.export,
+                         csv_path=args.csv, engine=args.engine,
+                         store_dir=args.resume, shard=args.shard,
+                         telemetry=telemetry, **kwargs)
     print(report.render())
     if not report.complete:
         _shard_note(args, f"{len(report.points)} design point(s) "
@@ -332,7 +376,7 @@ def cmd_dse(args) -> int:
         return 0 if report.ok else 1
     for path in (args.export, args.csv):
         if path:
-            print(f"# wrote {path}", file=sys.stderr)
+            obs.note(f"# wrote {path}")
     return 0 if report.ok else 1
 
 
@@ -343,22 +387,118 @@ def cmd_fuzz(args) -> int:
     if usage_error:
         print(f"error: {usage_error}", file=sys.stderr)
         return 2
-    report = run_fuzz(seeds=args.seeds, seed=args.seed, batch=args.batch,
-                      parallel=parallel, jobs=jobs,
-                      corpus_dir=args.corpus,
-                      time_budget=args.time_budget,
-                      include_baselines=args.baselines,
-                      engine=args.engine,
-                      store_dir=args.resume, shard=args.shard)
+    telemetry = _make_telemetry(args)
+    with obs.campaign(telemetry, "fuzz",
+                      {"seeds": args.seeds, "seed": args.seed,
+                       "batch": args.batch, "jobs": args.jobs,
+                       "engine": args.engine or "predecoded"}):
+        report = run_fuzz(seeds=args.seeds, seed=args.seed,
+                          batch=args.batch,
+                          parallel=parallel, jobs=jobs,
+                          corpus_dir=args.corpus,
+                          time_budget=args.time_budget,
+                          include_baselines=args.baselines,
+                          engine=args.engine,
+                          store_dir=args.resume, shard=args.shard,
+                          telemetry=telemetry)
     print(report.render())
     if report.pending:
         _shard_note(args, f"{report.specimens} specimen(s) replayed or "
                           f"executed (sync point)")
         return 0 if report.ok else 1
     if args.corpus:
-        print(f"# wrote corpus + coverage + report under {args.corpus}",
-              file=sys.stderr)
+        obs.note(f"# wrote corpus + coverage + report under {args.corpus}")
     return 0 if report.ok else 1
+
+
+def cmd_fault(args) -> int:
+    from .faults import run_campaign as run_fault_campaign
+    from .workloads import make_workload, workload_names
+    parallel, jobs = _parse_jobs(args.jobs)
+    usage_error = _check_shard(args)
+    if usage_error:
+        print(f"error: {usage_error}", file=sys.stderr)
+        return 2
+    profile = None
+    if args.profile is not None:
+        from .dse.grid import parse_profile_spec
+        try:
+            profile = parse_profile_spec(args.profile)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        victim = make_workload(args.workload, args.scale)
+    except KeyError:
+        print(f"error: unknown workload {args.workload!r}; "
+              f"known: {workload_names()}", file=sys.stderr)
+        return 2
+    keys = DeviceKeys.from_seed(args.key_seed)
+    telemetry = _make_telemetry(args)
+    with obs.campaign(telemetry, "fault",
+                      {"workload": args.workload, "scale": args.scale,
+                       "per_model": args.per_model, "seed": args.seed,
+                       "jobs": args.jobs,
+                       "engine": args.engine or "predecoded"}):
+        results, summary = run_fault_campaign(
+            victim.compile().program, keys, victim.expected_output,
+            per_model=args.per_model, seed=args.seed,
+            parallel=parallel, jobs=jobs, export_path=args.export,
+            engine=args.engine, profile=profile,
+            store_dir=args.resume, shard=args.shard, telemetry=telemetry)
+    print(summary.render())
+    if any(result is None for result in results):
+        _shard_note(args, f"{sum(r is not None for r in results)} "
+                          f"specimen(s) replayed or executed")
+        return 0
+    if args.export:
+        obs.note(f"# wrote {args.export}")
+    return 0
+
+
+def cmd_montecarlo(args) -> int:
+    from .security.montecarlo import forgery_scaling, tamper_detection
+    parallel, jobs = _parse_jobs(args.jobs)
+    telemetry = _make_telemetry(args)
+    with obs.campaign(telemetry, "montecarlo",
+                      {"experiments": args.experiments,
+                       "tampers": args.tampers, "seed": args.seed,
+                       "jobs": args.jobs}):
+        scaling = forgery_scaling(experiments=args.experiments,
+                                  seed=args.seed, parallel=parallel,
+                                  jobs=jobs, telemetry=telemetry)
+        escape = tamper_detection(bits=args.bits, tampers=args.tampers,
+                                  seed=args.seed, parallel=parallel,
+                                  jobs=jobs, telemetry=telemetry)
+    print("Truncated-MAC Monte-Carlo (E9)")
+    print(f"{'bits':>6s} {'mean trials':>14s} {'expected':>12s} "
+          f"{'ratio':>7s}")
+    for row in scaling:
+        print(f"{row.bits:>6d} {row.mean_trials:>14.1f} "
+              f"{row.expected_trials:>12.1f} {row.ratio:>7.3f}")
+    print(f"tamper escape @ {escape.bits}-bit MAC: "
+          f"{escape.undetected}/{escape.tampers} "
+          f"({escape.escape_rate:.2e}, expected {escape.expected_rate:.2e})")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .obs import summarize
+    try:
+        text, problems = summarize(args.directory)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(text)
+    return 1 if problems else 0
+
+
+def cmd_version(args) -> int:
+    from . import __version__
+    from .runner.store import code_version
+    print(f"repro {__version__}")
+    print(f"code {code_version()}")
+    return 0
 
 
 def cmd_merge(args) -> int:
@@ -373,9 +513,8 @@ def cmd_merge(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    print(f"# merged {len(args.sources)} store(s) into {args.dest}: "
-          f"{copied} result(s) copied, {present} already present",
-          file=sys.stderr)
+    obs.note(f"# merged {len(args.sources)} store(s) into {args.dest}: "
+             f"{copied} result(s) copied, {present} already present")
     return 0
 
 
@@ -398,8 +537,7 @@ _EXPERIMENTS = {
 def cmd_report(args) -> int:
     from .eval.report import write_report
     text = write_report(args.output, scale=args.scale)
-    print(f"# wrote {args.output} ({len(text.splitlines())} lines)",
-          file=sys.stderr)
+    obs.note(f"# wrote {args.output} ({len(text.splitlines())} lines)")
     return 0
 
 
@@ -421,6 +559,9 @@ def cmd_experiments(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SOFIA reproduction toolchain")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress informational '#' notes on stderr "
+                             "(errors and stdout artifacts unaffected)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compile", help="minicc C -> SRISC assembly")
@@ -512,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="route the campaign through the bit-sliced batch "
                         "engine (results are byte-identical)")
     _add_store_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_attacksynth)
 
     p = sub.add_parser(
@@ -548,6 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="route each point's campaigns through the "
                         "bit-sliced batch engine (byte-identical)")
     _add_store_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_dse)
 
     p = sub.add_parser("fuzz",
@@ -572,7 +715,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="widen the SOFIA engine axis to the three-way "
                         "reference/predecoded/batch lockstep")
     _add_store_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "fault", help="fault-injection campaign on a workload (E11)")
+    p.add_argument("--workload", default="crc32",
+                   help="victim workload name (default crc32)")
+    p.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "medium"))
+    p.add_argument("--per-model", type=int, default=25,
+                   help="fault specimens per fault model (default 25)")
+    p.add_argument("--seed", type=int, default=2016,
+                   help="campaign seed (drives the fault sampler)")
+    p.add_argument("--key-seed", type=int, default=0x50F1A,
+                   help="device-key provisioning seed")
+    p.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
+                   help="worker processes (0 = one per CPU, 1 = serial)")
+    p.add_argument("--export", metavar="FILE",
+                   help="write the campaign record as canonical JSON")
+    p.add_argument("--profile", metavar="SPEC",
+                   help="seal the victim under this design point "
+                        "(e.g. present-80:mac32:fixed)")
+    p.add_argument("--engine", choices=("batch",), default=None,
+                   help="route the specimens through the lockstep batch "
+                        "engine (results are byte-identical)")
+    _add_store_args(p)
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_fault)
+
+    p = sub.add_parser(
+        "montecarlo", help="truncated-MAC Monte-Carlo experiments (E9)")
+    p.add_argument("--experiments", type=int, default=200,
+                   help="forgeries per MAC width (default 200)")
+    p.add_argument("--tampers", type=int, default=4000,
+                   help="random tampers for the escape-rate experiment")
+    p.add_argument("--bits", type=int, default=8,
+                   help="MAC width for the escape-rate experiment")
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
+                   help="worker processes (0 = one per CPU, 1 = serial)")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_montecarlo)
 
     p = sub.add_parser(
         "merge", help="union sharded campaign result stores")
@@ -595,12 +779,24 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("tiny", "small", "medium"))
     p.set_defaults(func=cmd_report)
 
+    p = sub.add_parser(
+        "stats", help="summarize a --telemetry directory")
+    p.add_argument("directory",
+                   help="directory written by a --telemetry campaign")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "version", help="print package version + store code digest")
+    p.set_defaults(func=cmd_version)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # reset per call: tests drive main() repeatedly in-process
+    obs.set_quiet(getattr(args, "quiet", False))
     try:
         return args.func(args)
     except ReproError as exc:
@@ -609,6 +805,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout closed early (e.g. `repro stats DIR | head`); point the
+        # fd at devnull so interpreter shutdown doesn't re-raise
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,6 +29,7 @@ from ..eval.export import dse_csv, dse_json
 from ..eval.overhead import OverheadPoint, measure_point
 from ..faults.campaign import FaultOutcome
 from ..faults.campaign import run_campaign as run_fault_campaign
+from ..obs import phase as obs_phase
 from ..runner import (DEFAULT_KEY_SEED, ResultStore, ShardSpec, run_tasks,
                       run_tasks_stored, task_key, task_seed)
 from ..security.bounds import cfi_attack_years, si_forgery_years
@@ -300,7 +301,8 @@ def run_dse(profiles: Sequence[ProtectionProfile], *,
             parallel: bool = False, jobs: Optional[int] = None,
             export_path=None, csv_path=None,
             engine: Optional[str] = None,
-            store_dir=None, shard: Optional[ShardSpec] = None) -> DseReport:
+            store_dir=None, shard: Optional[ShardSpec] = None,
+            telemetry=None) -> DseReport:
     """Sweep the profile list; one runner task per design point.
 
     ``engine="batch"`` routes each point's attack-synthesis and
@@ -314,6 +316,11 @@ def run_dse(profiles: Sequence[ProtectionProfile], *,
     ``shard`` evaluates one deterministic ``i/n`` slice of the grid
     (requires a store) — exports wait for a merged store and are then
     byte-identical to an uninterrupted serial sweep.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, default ``None``)
+    records phases, per-point spans, and simulator counters — strictly
+    observationally: the report and exports are byte-identical either
+    way.
     """
     if not profiles:
         raise ValueError("the sweep needs at least one profile")
@@ -339,15 +346,18 @@ def run_dse(profiles: Sequence[ProtectionProfile], *,
             _dse_task, missing, jobs=jobs, parallel=parallel,
             initializer=_init_dse_worker,
             initargs=(key_seed, seed, tuple(workloads), scale, programs,
-                      per_model, engine))
+                      per_model, engine), telemetry=telemetry)
 
-    run = run_tasks_stored(execute, tasks, keys, store=store, shard=shard)
+    with obs_phase(telemetry, "execute"):
+        run = run_tasks_stored(execute, tasks, keys, store=store,
+                               shard=shard, telemetry=telemetry)
     report.points = [point for point in run.results if point is not None]
     report.complete = run.complete
     report.elapsed_seconds = time.perf_counter() - started
     if run.complete:
-        if export_path is not None:
-            dse_json(report.to_record(), export_path)
-        if csv_path is not None:
-            dse_csv(report.csv_rows(), csv_path)
+        with obs_phase(telemetry, "export"):
+            if export_path is not None:
+                dse_json(report.to_record(), export_path)
+            if csv_path is not None:
+                dse_csv(report.csv_rows(), csv_path)
     return report

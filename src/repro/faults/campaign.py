@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..crypto.keys import DeviceKeys
 from ..isa.program import AsmProgram
+from ..obs import phase as obs_phase
 from ..runner import (ResultStore, ShardSpec, campaign_record,
                       make_batches, resolve_jobs, run_tasks,
                       run_tasks_stored, task_key, write_campaign)
@@ -238,7 +239,8 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
                  export_path=None, engine: Optional[str] = None,
                  profile=None, batch_width: int = BATCH_WIDTH,
                  models: Optional[Sequence[str]] = None,
-                 store_dir=None, shard: Optional[ShardSpec] = None
+                 store_dir=None, shard: Optional[ShardSpec] = None,
+                 telemetry=None
                  ) -> "tuple[List[FaultResult], CampaignSummary]":
     """Full campaign on one program; returns per-fault results + summary.
 
@@ -266,19 +268,26 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
     execution to one deterministic slice of the specimen list; the
     summary then covers only the results present, and no export is
     written until a merged store makes the campaign complete.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, default ``None``)
+    records phases, per-task spans and simulator counters — strictly
+    observationally: results and exports are byte-identical either way.
     """
     started = time.perf_counter()
     if profile is not None:
         keys = keys.for_profile(profile)
-    image = transform(program, keys, nonce=nonce, profile=profile)
-    baseline = SofiaMachine(image, keys, engine=engine).run(max_instructions)
+    with obs_phase(telemetry, "build"):
+        image = transform(program, keys, nonce=nonce, profile=profile)
+        baseline = SofiaMachine(image, keys,
+                                engine=engine).run(max_instructions)
     if list(baseline.output_ints) != list(golden_output) or not baseline.ok:
         raise AssertionError(
             f"golden run broken: {baseline.summary()} "
             f"{baseline.output_ints}")
-    faults = sample_faults(image, baseline.instructions,
-                           per_model=per_model, seed=seed, models=models,
-                           rng=rng)
+    with obs_phase(telemetry, "plan"):
+        faults = sample_faults(image, baseline.instructions,
+                               per_model=per_model, seed=seed,
+                               models=models, rng=rng)
     store = ResultStore(store_dir) if store_dir is not None else None
     fault_keys = None
     if store is not None:
@@ -307,13 +316,17 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
                 return [result for group_results in run_tasks(
                     _fault_batch_task, groups, jobs=jobs,
                     parallel=parallel, initializer=_init_fault_worker,
-                    initargs=initargs) for result in group_results]
+                    initargs=initargs, telemetry=telemetry)
+                    for result in group_results]
             return run_tasks(
                 _fault_task, missing, jobs=jobs, parallel=parallel,
-                initializer=_init_fault_worker, initargs=initargs)
+                initializer=_init_fault_worker, initargs=initargs,
+                telemetry=telemetry)
 
-        run = run_tasks_stored(execute, faults, fault_keys, store=store,
-                               shard=shard)
+        with obs_phase(telemetry, "execute"):
+            run = run_tasks_stored(execute, faults, fault_keys,
+                                   store=store, shard=shard,
+                                   telemetry=telemetry)
         results = run.results
     finally:
         _WORKER_CTX = None  # release the image pinned by the serial path
@@ -339,5 +352,6 @@ def run_campaign(program: AsmProgram, keys: DeviceKeys,
                 "fault-injection", parameters, results,
                 jobs=resolve_jobs(jobs) if parallel else 1,
                 elapsed_seconds=time.perf_counter() - started)
-        write_campaign(export_path, record)
+        with obs_phase(telemetry, "export"):
+            write_campaign(export_path, record)
     return results, summary

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..crypto.keys import DeviceKeys
+from ..obs import phase as obs_phase
 from ..runner import (ResultStore, ShardSpec, run_tasks, run_tasks_stored,
                       task_key, task_rng, write_campaign)
 from ..runner.cache import DEFAULT_KEY_SEED
@@ -138,8 +139,8 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
              max_failures: int = 8,
              key_seed: int = DEFAULT_KEY_SEED,
              engine: Optional[str] = None,
-             store_dir=None, shard: Optional[ShardSpec] = None
-             ) -> FuzzReport:
+             store_dir=None, shard: Optional[ShardSpec] = None,
+             telemetry=None) -> FuzzReport:
     """Run a campaign of ``seeds`` specimens; returns the full report.
 
     ``corpus_dir`` persists the corpus, ``coverage.json``,
@@ -163,6 +164,11 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
     design.  Alternate the shards over a shared (or merged) store until
     a plain ``--resume`` pass replays the whole campaign; that pass is
     byte-identical to an uninterrupted serial run.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, default ``None``)
+    records per-specimen spans and simulator counters round by round —
+    strictly observationally: the report, corpus, and exports are
+    byte-identical either way.
     """
     started = time.perf_counter()
     keys = DeviceKeys.from_seed(key_seed)
@@ -179,7 +185,8 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
         return run_tasks(_fuzz_task, missing,
                          jobs=jobs, parallel=parallel,
                          initializer=_init_fuzz_worker,
-                         initargs=(keys, include_baselines, engine))
+                         initargs=(keys, include_baselines, engine),
+                         telemetry=telemetry)
 
     failing_reports: List[OracleReport] = []
     seen_failures = set()
@@ -196,7 +203,8 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
             genome_keys = [task_key("fuzz", context, genome,
                                     engine=engine) for genome in genomes]
         run = run_tasks_stored(execute, genomes, genome_keys,
-                               store=store, shard=shard)
+                               store=store, shard=shard,
+                               telemetry=telemetry)
         if not run.complete:
             # sync point: the steering update needs the whole batch in
             # task order, and the gaps belong to other shards
@@ -224,21 +232,23 @@ def run_fuzz(seeds: int = 500, *, seed: int = 0x5EED,
         report.elapsed_seconds = time.perf_counter() - started
         return report
 
-    for oracle_report in failing_reports[:max_failures]:
-        report.failures.append(
-            triage(oracle_report, keys, do_minimize=minimize_failures))
-    if len(failing_reports) > max_failures:
-        for oracle_report in failing_reports[max_failures:]:
+    with obs_phase(telemetry, "triage"):
+        for oracle_report in failing_reports[:max_failures]:
             report.failures.append(
-                triage(oracle_report, keys, do_minimize=False))
+                triage(oracle_report, keys, do_minimize=minimize_failures))
+        if len(failing_reports) > max_failures:
+            for oracle_report in failing_reports[max_failures:]:
+                report.failures.append(
+                    triage(oracle_report, keys, do_minimize=False))
 
     report.elapsed_seconds = time.perf_counter() - started
     if corpus_dir is not None:
-        root = report.corpus.save(corpus_dir)
-        report.coverage.save(root / "coverage.json")
-        write_campaign(root / "report.json", _campaign_record(report))
-        for record in report.failures:
-            write_triage(record, root / "triage")
+        with obs_phase(telemetry, "export"):
+            root = report.corpus.save(corpus_dir)
+            report.coverage.save(root / "coverage.json")
+            write_campaign(root / "report.json", _campaign_record(report))
+            for record in report.failures:
+                write_triage(record, root / "triage")
     return report
 
 

@@ -1,0 +1,60 @@
+"""Per-worker metric collection for the process pool.
+
+Each worker process (and the parent, on the serial path) owns one
+:class:`~repro.obs.metrics.MetricsRegistry`, installed into the
+simulator hook by :func:`install`.  After every task the worker calls
+:func:`span`, which returns ``(pid, start, end, counter_deltas)`` — the
+counter *increments since the previous span*, not a cumulative
+snapshot, so multi-round pools, chunked maps, and reused workers merge
+without double counting.  Spans travel back to the parent piggybacked
+on the existing result channel (``(result, span)`` tuples built by
+:mod:`repro.runner.pool`) and are folded into the campaign registry by
+:meth:`repro.obs.Telemetry.task_completed`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from . import hook
+from .metrics import MetricsRegistry, counter_delta
+
+Span = Tuple[int, float, float, Dict[str, int]]
+
+_REGISTRY: Optional[MetricsRegistry] = None
+_BASELINE: Dict[str, int] = {}
+_PREVIOUS_SINK = None
+
+
+def install() -> None:
+    """Start a fresh per-process registry and hook it into the sims."""
+    global _REGISTRY, _BASELINE, _PREVIOUS_SINK
+    _REGISTRY = MetricsRegistry()
+    _BASELINE = {}
+    _PREVIOUS_SINK = hook.SIM
+    hook.install(_REGISTRY)
+
+
+def uninstall() -> None:
+    """Tear down the worker registry, restoring any prior sink.
+
+    Only meaningful on the serial path, where the "worker" is the
+    parent process and a campaign-level sink may already be installed.
+    """
+    global _REGISTRY, _BASELINE, _PREVIOUS_SINK
+    hook.SIM = _PREVIOUS_SINK
+    _REGISTRY = None
+    _BASELINE = {}
+    _PREVIOUS_SINK = None
+
+
+def span(start: float, end: float) -> Span:
+    """Close out one task: timing plus counter deltas since last span."""
+    global _BASELINE
+    if _REGISTRY is None:
+        return (os.getpid(), start, end, {})
+    current = dict(_REGISTRY.counters)
+    delta = counter_delta(current, _BASELINE)
+    _BASELINE = current
+    return (os.getpid(), start, end, delta)

@@ -19,11 +19,39 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+# worker-global task function for the instrumented parallel path; set by
+# _obs_initializer in each worker process (mirrors the campaign modules'
+# _WORKER_CTX idiom — fork-safe, pickled once per worker, not per task)
+_OBS_FN: Optional[Callable] = None
+
+
+def _obs_initializer(fn: Callable, initializer: Optional[Callable],
+                     initargs: Tuple) -> None:
+    """Pool initializer for instrumented runs: install the per-worker
+    metrics registry, stash the task function, then run the campaign's
+    own initializer."""
+    global _OBS_FN
+    from ..obs import worker as obs_worker
+    obs_worker.install()
+    _OBS_FN = fn
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _obs_task(task):
+    """Instrumented task wrapper: time the task and piggyback the
+    worker's span (pid, timing, counter deltas) on the result."""
+    from ..obs import worker as obs_worker
+    start = time.perf_counter()
+    result = _OBS_FN(task)
+    return result, obs_worker.span(start, time.perf_counter())
 
 
 def available_cpus() -> int:
@@ -74,7 +102,8 @@ def run_tasks(fn: Callable[[T], R], tasks: Iterable[T], *,
               parallel: bool = True,
               chunksize: Optional[int] = None,
               initializer: Optional[Callable] = None,
-              initargs: Tuple = ()) -> List[R]:
+              initargs: Tuple = (),
+              telemetry=None) -> List[R]:
     """Run ``fn`` over every task, returning results in task order.
 
     ``parallel=False`` (or a resolved worker count of one, or fewer than
@@ -84,18 +113,56 @@ def run_tasks(fn: Callable[[T], R], tasks: Iterable[T], *,
     with chunked dispatch; ``ProcessPoolExecutor.map`` guarantees the
     result order matches the submission order regardless of which worker
     finishes first.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, default ``None``)
+    turns on per-task collection: each worker installs a process-local
+    metrics registry, times every task, and returns ``(result, span)``
+    through the same result channel; the parent strips the spans and
+    folds them into the campaign telemetry in result order.  With
+    ``telemetry=None`` this function is byte-for-byte the historical
+    dispatch — no wrapper functions, no extra pickling.
     """
     task_list = list(tasks)
     workers = resolve_jobs(jobs)
     if not parallel or workers == 1 or len(task_list) < 2:
-        if initializer is not None:
-            initializer(*initargs)
-        return [fn(task) for task in task_list]
+        if telemetry is None:
+            if initializer is not None:
+                initializer(*initargs)
+            return [fn(task) for task in task_list]
+        from ..obs import worker as obs_worker
+        indices = telemetry.claim_indices(len(task_list))
+        obs_worker.install()
+        try:
+            if initializer is not None:
+                initializer(*initargs)
+            results = []
+            for index, task in zip(indices, task_list):
+                start = time.perf_counter()
+                result = fn(task)
+                telemetry.task_completed(
+                    obs_worker.span(start, time.perf_counter()), index)
+                results.append(result)
+            return results
+        finally:
+            obs_worker.uninstall()
     workers = min(workers, len(task_list))
     if chunksize is None:
         chunksize = default_chunksize(len(task_list), workers)
+    if telemetry is None:
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=_fork_context(),
+                                 initializer=initializer,
+                                 initargs=initargs) as pool:
+            return list(pool.map(fn, task_list, chunksize=chunksize))
+    indices = telemetry.claim_indices(len(task_list))
     with ProcessPoolExecutor(max_workers=workers,
                              mp_context=_fork_context(),
-                             initializer=initializer,
-                             initargs=initargs) as pool:
-        return list(pool.map(fn, task_list, chunksize=chunksize))
+                             initializer=_obs_initializer,
+                             initargs=(fn, initializer, initargs)) as pool:
+        results = []
+        for index, (result, span) in zip(
+                indices, pool.map(_obs_task, task_list,
+                                  chunksize=chunksize)):
+            telemetry.task_completed(span, index)
+            results.append(result)
+        return results

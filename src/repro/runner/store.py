@@ -262,7 +262,8 @@ def run_tasks_stored(execute: Callable[[List[T]], List[Any]],
                      tasks: Sequence[T],
                      keys: Optional[Sequence[str]] = None, *,
                      store: Optional[ResultStore] = None,
-                     shard: Optional[ShardSpec] = None) -> StoredRun:
+                     shard: Optional[ShardSpec] = None,
+                     telemetry=None) -> StoredRun:
     """Run ``tasks`` through ``execute`` with store-backed memoization.
 
     ``execute`` receives the (ordered) sub-list of tasks that must
@@ -274,12 +275,20 @@ def run_tasks_stored(execute: Callable[[List[T]], List[Any]],
     reported as skipped.  Results always come back in submission order,
     so a complete run is indistinguishable from a plain
     ``execute(tasks)`` call.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, default ``None``)
+    records the dispatch plan, per-index store hits, shard/resume
+    decisions, and store counters — purely observationally; it never
+    changes which tasks run or what is stored.
     """
     task_list = list(tasks)
     if shard is not None and store is None:
         raise ValueError("sharding requires a result store "
                          "(--shard without --resume loses the results)")
     if store is None:
+        if telemetry is not None and task_list:
+            telemetry.plan(len(task_list))
+            telemetry.expect_tasks(range(len(task_list)))
         results = execute(task_list) if task_list else []
         if len(results) != len(task_list):
             raise ValueError(f"execute returned {len(results)} results "
@@ -291,6 +300,7 @@ def run_tasks_stored(execute: Callable[[List[T]], List[Any]],
                          f"keys, got {len(key_list)}")
     results: List[Any] = [None] * len(task_list)
     missing: List[int] = []
+    cached: List[int] = []
     hits = 0
     for index, key in enumerate(key_list):
         value = store.get(key, _MISSING)
@@ -298,8 +308,20 @@ def run_tasks_stored(execute: Callable[[List[T]], List[Any]],
             missing.append(index)
         else:
             results[index] = value
+            cached.append(index)
             hits += 1
     owned = [i for i in missing if shard is None or shard.owns(i)]
+    skipped = len(missing) - len(owned)
+    if telemetry is not None:
+        telemetry.plan(len(task_list), cached=hits, skipped=skipped)
+        telemetry.resume(store.root, hits=hits, missing=len(missing))
+        if shard is not None:
+            telemetry.shard_decision(shard.label, owned=len(owned),
+                                     skipped=skipped)
+        for index in cached:
+            telemetry.store_hit(index)
+        telemetry.expect_tasks(owned)
+        telemetry.count("store.misses", len(missing))
     if owned:
         fresh = execute([task_list[i] for i in owned])
         if len(fresh) != len(owned):
@@ -308,5 +330,7 @@ def run_tasks_stored(execute: Callable[[List[T]], List[Any]],
         for index, value in zip(owned, fresh):
             store.put(key_list[index], value)
             results[index] = value
+        if telemetry is not None:
+            telemetry.count("store.puts", len(owned))
     return StoredRun(results=results, hits=hits, executed=len(owned),
-                     skipped=len(missing) - len(owned), shard=shard)
+                     skipped=skipped, shard=shard)

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..crypto.cbcmac import cbc_mac
 from ..crypto.rectangle import Rectangle80
+from ..obs import phase as obs_phase
 from ..runner import run_tasks, task_rng
 
 
@@ -80,8 +81,14 @@ def forgery_scaling(bits_list: Sequence[int] = (4, 6, 8, 10, 12),
                     experiments: int = 200,
                     seed: int = 2016,
                     parallel: bool = False,
-                    jobs: Optional[int] = None) -> List[ForgeryScaling]:
-    """Mean trials-to-forge vs MAC width — should track 2^(n-1)."""
+                    jobs: Optional[int] = None,
+                    telemetry=None) -> List[ForgeryScaling]:
+    """Mean trials-to-forge vs MAC width — should track 2^(n-1).
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, default ``None``)
+    records the dispatch plan and per-batch spans on the parallel path
+    (the serial path is one untimed stream) — observationally only.
+    """
     if parallel:
         tasks = []
         for bits in bits_list:
@@ -91,7 +98,12 @@ def forgery_scaling(bits_list: Sequence[int] = (4, 6, 8, 10, 12),
                 tasks.append((seed, bits, batch, min(_BATCH, remaining)))
                 remaining -= _BATCH
                 batch += 1
-        totals = run_tasks(_forgery_batch, tasks, jobs=jobs)
+        if telemetry is not None:
+            telemetry.plan(len(tasks))
+            telemetry.expect_tasks(range(len(tasks)))
+        with obs_phase(telemetry, "forgery-scaling"):
+            totals = run_tasks(_forgery_batch, tasks, jobs=jobs,
+                               telemetry=telemetry)
         by_bits = {bits: 0 for bits in bits_list}
         for task, total in zip(tasks, totals):
             by_bits[task[1]] += total
@@ -148,7 +160,8 @@ def _tamper_batch(task: Tuple[int, int, int, int]) -> int:
 
 def tamper_detection(bits: int = 8, tampers: int = 4000,
                      seed: int = 99, parallel: bool = False,
-                     jobs: Optional[int] = None) -> TamperEscape:
+                     jobs: Optional[int] = None,
+                     telemetry=None) -> TamperEscape:
     """Fraction of random single-word tampers that pass n-bit verification.
 
     With an n-bit MAC an undetected tamper needs the tampered message to
@@ -162,7 +175,12 @@ def tamper_detection(bits: int = 8, tampers: int = 4000,
             tasks.append((seed, bits, batch, min(batch_size, remaining)))
             remaining -= batch_size
             batch += 1
-        undetected = sum(run_tasks(_tamper_batch, tasks, jobs=jobs))
+        if telemetry is not None:
+            telemetry.plan(len(tasks))
+            telemetry.expect_tasks(range(len(tasks)))
+        with obs_phase(telemetry, "tamper-detection"):
+            undetected = sum(run_tasks(_tamper_batch, tasks, jobs=jobs,
+                                       telemetry=telemetry))
         return TamperEscape(bits=bits, tampers=tampers,
                             undetected=undetected)
     rng = random.Random(seed)

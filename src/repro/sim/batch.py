@@ -112,6 +112,10 @@ def warm_front_end(machine: SofiaMachine) -> int:
                                 ordered, mac_words)
         for payload, mac in zip(ordered, macs):
             mac_cache[(kind, payload)] = mac
+    obs = machine._obs
+    if obs is not None:
+        obs.count("sim.batch.warms")
+        obs.count("sim.batch.edges_warmed", len(todo))
     return len(todo)
 
 
@@ -196,4 +200,7 @@ class LockstepLeader:
                 # terminal state: re-running would re-execute the block,
                 # so later forks replicate this state instead
                 self.halted = True
+        obs = self.machine._obs
+        if obs is not None:
+            obs.count("sim.lockstep.forks")
         return fork_machine(self.machine)

@@ -30,6 +30,7 @@ from ..crypto.keys import DeviceKeys
 from ..errors import DecodingError, SimulationError
 from ..isa.encoding import decode
 from ..isa.instructions import Instruction
+from ..obs import hook as obs_hook
 from ..transform.config import RESET_PREV_PC
 from ..transform.encrypt import unseal_block
 from ..transform.image import SofiaImage
@@ -109,6 +110,10 @@ class SofiaMachine:
         #: optional tracing hook, called as on_commit(pc, instr) after each
         #: committed instruction (see repro.sim.trace)
         self.on_commit = None
+        #: telemetry sink captured once at construction (repro.obs.hook);
+        #: ``None`` by default — every reporting site is a cold path
+        #: guarded by one ``is not None`` check, the hot loops never look
+        self._obs = obs_hook.SIM
 
     def _on_code_write(self, _address: int) -> None:
         self._block_cache.clear()
@@ -150,6 +155,12 @@ class SofiaMachine:
     def _decrypt_and_verify_uncached(self, prev_pc: int, entry_pc: int,
                                      force_accept: bool = False
                                      ) -> _VerifiedBlock:
+        # telemetry: each call is one block-memo miss; memo *hits* are
+        # never counted here (the hit path is hot) — derive them as
+        # blocks_executed - sim.frontend.decrypts
+        obs = self._obs
+        if obs is not None:
+            obs.count("sim.frontend.decrypts")
         classified = self._classify(entry_pc)
         if classified is None:
             violation = ViolationRecord("invalid-entry", entry_pc, prev_pc,
@@ -183,6 +194,10 @@ class SofiaMachine:
         # decrypt: the entry word chains on the inbound edge; M2 of a mux
         # block always chains on addr(M1e2) = base+4 (Fig. 8); every other
         # word chains on its canonical predecessor word.
+        if obs is not None:
+            keystream_cached = self.keystream.cache_size()
+            mac_cached = len(self._mac_cache) \
+                if self._mac_cache is not None else 0
         plaintext = []
         for position, index in enumerate(word_indices):
             address = base + 4 * index
@@ -201,6 +216,16 @@ class SofiaMachine:
         payload_words, stored, expected = unseal_block(
             kind, plaintext, self.keys, self.profile.mac_words,
             mac_cache=self._mac_cache)
+        if obs is not None:
+            # keystream/MAC memo misses show up as cache growth; hits =
+            # lookups - misses (rates derived at `repro stats` time)
+            obs.count("sim.keystream.words", len(word_indices))
+            obs.count("sim.keystream.memo_misses",
+                      self.keystream.cache_size() - keystream_cached)
+            if self._mac_cache is not None:
+                obs.count("sim.mac.memo_lookups")
+                obs.count("sim.mac.memo_misses",
+                          len(self._mac_cache) - mac_cached)
         mac_slots = self.profile.mac_words
         if expected != stored and not force_accept:
             run_hex = "".join(f"{w:08x}" for w in expected)
@@ -255,13 +280,24 @@ class SofiaMachine:
 
     def run(self, max_instructions: int = 50_000_000) -> ExecutionResult:
         if self.engine == "reference":
-            return self._run_reference(max_instructions)
-        if self.engine == "batch" and self._mac_cache is None:
-            # batch engine == the predecoded loop over a front end warmed
-            # in one bit-sliced sweep (lazy; import here breaks the cycle)
-            from .batch import warm_front_end
-            warm_front_end(self)
-        return self._run_predecoded(max_instructions)
+            result = self._run_reference(max_instructions)
+        else:
+            if self.engine == "batch" and self._mac_cache is None:
+                # batch engine == the predecoded loop over a front end
+                # warmed in one bit-sliced sweep (lazy import: cycle)
+                from .batch import warm_front_end
+                warm_front_end(self)
+            result = self._run_predecoded(max_instructions)
+        obs = self._obs
+        if obs is not None:
+            # run-level throughput counters, read off the finished
+            # result — the engine loops themselves are untouched
+            engine = self.engine
+            obs.count(f"sim.runs.{engine}")
+            obs.count(f"sim.instructions.{engine}", result.instructions)
+            obs.count(f"sim.cycles.{engine}", result.cycles)
+            obs.count(f"sim.blocks.{engine}", result.blocks_executed)
+        return result
 
     def _run_reference(self, max_instructions: int) -> ExecutionResult:
         """The oracle loop: one ``core.execute`` call per payload slot."""

@@ -21,6 +21,7 @@ from ..errors import DecodingError, SimulationError
 from ..isa.encoding import decode
 from ..isa.instructions import Instruction
 from ..isa.program import Executable
+from ..obs import hook as obs_hook
 from .cache import DirectMappedCache
 from .core import CPUState, execute
 from .engine import PredecodedStep, predecode, resolve_engine
@@ -51,6 +52,9 @@ class VanillaMachine:
         #: committed instruction (see repro.sim.trace); fires identically
         #: under both engines
         self.on_commit = None
+        #: telemetry sink captured once at construction (repro.obs.hook);
+        #: ``None`` by default, consulted only at the end of run()
+        self._obs = obs_hook.SIM
         # any code write invalidates decoded instructions (self-modifying
         # code / injection attacks must see their new bytes)
         self.memory.add_code_listener(self._on_code_write)
@@ -76,8 +80,17 @@ class VanillaMachine:
     def run(self, max_instructions: int = 50_000_000) -> ExecutionResult:
         """Run to completion (halt/exit/trap) or the instruction budget."""
         if self.engine == "reference":
-            return self._run_reference(max_instructions)
-        return self._run_predecoded(max_instructions)
+            result = self._run_reference(max_instructions)
+        else:
+            result = self._run_predecoded(max_instructions)
+        obs = self._obs
+        if obs is not None:
+            engine = self.engine
+            obs.count(f"sim.vanilla.runs.{engine}")
+            obs.count(f"sim.vanilla.instructions.{engine}",
+                      result.instructions)
+            obs.count(f"sim.vanilla.cycles.{engine}", result.cycles)
+        return result
 
     def _run_reference(self, max_instructions: int) -> ExecutionResult:
         """The oracle loop: one ``core.execute`` call per instruction."""

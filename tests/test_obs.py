@@ -1,0 +1,259 @@
+"""Unit tests for :mod:`repro.obs` — events, metrics, traces, CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs import (EVENT_TYPES, DEFAULT_BOUNDS, EventLog, Histogram,
+                       MetricsRegistry, ProgressMeter, Telemetry,
+                       chrome_trace, counter_delta, load_metrics,
+                       read_events, summarize, validate_event)
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        h = Histogram()
+        for value in (0.5, 1.5, 2.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.minimum == 0.5
+        assert h.maximum == 2.0
+        assert h.mean == pytest.approx((0.5 + 1.5 + 2.0) / 3)
+
+    def test_merge_is_order_independent(self):
+        parts = []
+        for values in ((0.1, 10.0), (2.5,), (0.0001, 7.0, 300.0)):
+            h = Histogram()
+            for value in values:
+                h.observe(value)
+            parts.append(h.as_dict())
+        forward, backward = Histogram(), Histogram()
+        for part in parts:
+            forward.merge(part)
+        for part in reversed(parts):
+            backward.merge(part)
+        assert forward.as_dict() == backward.as_dict()
+        assert forward.count == 6
+
+    def test_merge_rejects_mismatched_bounds(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            h.merge(Histogram().as_dict())
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        r = MetricsRegistry()
+        r.count("a")
+        r.count("a", 4)
+        r.gauge("g", 2.0)
+        r.gauge("g", 1.0)  # gauges keep the high-water mark
+        r.observe("h", 0.5)
+        snap = r.snapshot()
+        assert snap["counters"] == {"a": 5}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_is_order_independent(self):
+        snaps = []
+        for base in (1, 10, 100):
+            r = MetricsRegistry()
+            r.count("x", base)
+            r.gauge("peak", float(base))
+            r.observe("t", base / 10.0)
+            snaps.append(r.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snaps:
+            forward.merge(snap)
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+        assert forward.counters["x"] == 111
+        assert forward.gauges["peak"] == 100.0
+
+    def test_counter_delta(self):
+        previous = {"a": 2, "b": 5}
+        current = {"a": 7, "b": 5, "c": 1}
+        assert counter_delta(current, previous) == {"a": 5, "c": 1}
+
+    def test_render_json_is_deterministic(self):
+        r = MetricsRegistry()
+        r.count("z")
+        r.count("a")
+        text = r.render_json()
+        assert json.loads(text)["counters"] == {"a": 1, "z": 1}
+        assert text.index('"a"') < text.index('"z"')
+
+
+class TestEvents:
+    def test_validate_accepts_good_event(self):
+        validate_event({"ts": 0.5, "event": "note", "text": "hi"})
+
+    @pytest.mark.parametrize("record", [
+        "not a dict",
+        {"event": "note"},                        # missing ts
+        {"ts": -1.0, "event": "note"},            # negative ts
+        {"ts": True, "event": "note"},            # bool is not a time
+        {"ts": 0.0, "event": "no-such-type"},     # unknown type
+        {"ts": 0.0, "event": "note", "x": [1]},   # non-scalar field
+    ])
+    def test_validate_rejects_bad_events(self, record):
+        with pytest.raises(ValueError):
+            validate_event(record)
+
+    def test_event_log_writes_valid_monotonic_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("campaign-start", campaign="t")
+        log.emit("note", text="mid")
+        log.emit("campaign-end", seconds=0.0)
+        log.close()
+        records = list(read_events(path))
+        assert [r["event"] for r in records] == [
+            "campaign-start", "note", "campaign-end"]
+        stamps = [validate_event(r)["ts"] for r in records]
+        assert stamps == sorted(stamps)
+
+    def test_event_log_rejects_reserved_fields(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        with pytest.raises(ValueError):
+            log.emit("note", ts=1.0)
+        log.close()
+
+    def test_event_types_cover_the_schema(self):
+        assert "task-completed" in EVENT_TYPES
+        assert "store-hit" in EVENT_TYPES
+        assert "shard-decision" in EVENT_TYPES
+
+
+class TestTrace:
+    def test_chrome_trace_structure(self):
+        spans = [(0, 111, 1.0, 2.0), (1, 222, 1.5, 3.0)]
+        phases = [("execute", 0.9, 3.1)]
+        doc = chrome_trace(spans, phases, origin=0.0)
+        events = doc["traceEvents"]
+        names = {e.get("name") for e in events if e.get("ph") == "X"}
+        assert "task 0" in names and "task 1" in names
+        assert "execute" in names
+        lanes = {e["args"]["name"] for e in events
+                 if e.get("name") == "thread_name"}
+        assert {"campaign phases", "worker 111", "worker 222"} <= lanes
+        # complete events carry microsecond timestamps and durations
+        task = next(e for e in events if e.get("name") == "task 0")
+        assert task["dur"] == pytest.approx(1_000_000.0)
+
+
+class TestProgress:
+    def test_meter_renders_counts_and_finishes(self):
+        stream = io.StringIO()
+        meter = ProgressMeter(label="demo", stream=stream, min_interval=0.0)
+        meter.plan(10, cached=2, skipped=3)
+        for _ in range(5):
+            meter.tick()
+        meter.finish()
+        text = stream.getvalue()
+        assert "demo" in text
+        assert "7/10" in text          # 2 cached + 5 executed
+        assert "2 cached" in text
+        assert text.endswith("\n")
+
+
+class TestTelemetry:
+    def test_full_lifecycle_writes_all_artifacts(self, tmp_path):
+        telemetry = Telemetry(directory=tmp_path / "tel")
+        telemetry.begin("demo", {"seed": 7, "event": "clash"})
+        with telemetry.phase("execute"):
+            telemetry.plan(2)
+            telemetry.expect_tasks([0, 1])
+            for index in telemetry.claim_indices(2):
+                telemetry.task_completed(
+                    (4321, 0.0, 0.25, {"sim.runs.predecoded": 1}),
+                    index)
+        telemetry.finish()
+        telemetry.finish()  # idempotent
+
+        records = list(read_events(tmp_path / "tel" / "events.jsonl"))
+        for record in records:
+            validate_event(record)
+        start = records[0]
+        assert start["event"] == "campaign-start"
+        assert start["x_event"] == "clash"  # reserved keys are prefixed
+        kinds = [r["event"] for r in records]
+        assert kinds.count("task-completed") == 2
+        assert "worker-start" in kinds and "worker-exit" in kinds
+
+        metrics = load_metrics(tmp_path / "tel")
+        assert metrics["counters"]["tasks.completed"] == 2
+        assert metrics["counters"]["sim.runs.predecoded"] == 2
+
+        trace = json.loads((tmp_path / "tel" / "trace.json").read_text())
+        assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+
+        text, problems = summarize(tmp_path / "tel")
+        assert problems == 0
+        assert "demo" in text
+
+    def test_claim_indices_fallback_on_mismatch(self):
+        telemetry = Telemetry()
+        telemetry.expect_tasks([5, 9, 12])
+        assert telemetry.claim_indices(3) == [5, 9, 12]
+        # a grouped dispatch (batch mode) mismatches the queue size:
+        telemetry.expect_tasks([20, 21, 22, 23])
+        assert telemetry.claim_indices(2) == [13, 14]
+        assert telemetry.claim_indices(1) == [15]
+        telemetry.finish()
+
+    def test_campaign_and_phase_noop_on_none(self):
+        with obs.campaign(None, "x", {"a": 1}) as handle:
+            assert handle is None
+            with obs.phase(None, "execute"):
+                pass
+
+
+class TestNoteQuiet:
+    def test_note_writes_unless_quiet(self, capsys):
+        obs.set_quiet(False)
+        obs.note("# hello")
+        assert capsys.readouterr().err == "# hello\n"
+        obs.set_quiet(True)
+        try:
+            obs.note("# silenced")
+            assert capsys.readouterr().err == ""
+        finally:
+            obs.set_quiet(False)
+
+
+class TestCli:
+    def test_version_prints_package_and_code_digest(self, capsys):
+        from repro import __version__
+        from repro.runner.store import code_version
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert f"repro {__version__}" in out
+        assert f"code {code_version()}" in out
+
+    def test_stats_on_missing_directory_is_usage_error(self, tmp_path):
+        assert main(["stats", str(tmp_path / "nope")]) == 2
+
+    def test_stats_on_telemetry_directory(self, tmp_path, capsys):
+        telemetry = Telemetry(directory=tmp_path / "tel")
+        telemetry.begin("demo", {})
+        telemetry.task_completed((1, 0.0, 0.1, {}), 0)
+        telemetry.finish()
+        assert main(["stats", str(tmp_path / "tel")]) == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_quiet_flag_suppresses_notes(self, tmp_path, capsys):
+        source = tmp_path / "p.c"
+        source.write_text("int main() { print_int(33); return 0; }\n")
+        assert main(["run", str(source)]) == 0
+        loud = capsys.readouterr()
+        assert loud.out == "33\n"
+        assert loud.err.startswith("# ")
+        assert main(["--quiet", "run", str(source)]) == 0
+        quiet = capsys.readouterr()
+        assert quiet.out == "33\n"
+        assert quiet.err == ""

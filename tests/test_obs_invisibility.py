@@ -1,0 +1,107 @@
+"""Telemetry invisibility: exports are byte-identical with it on or off.
+
+The observability layer's one hard guarantee (DESIGN.md "Observability"):
+attaching a :class:`repro.obs.Telemetry` to a campaign must not change a
+single exported byte, at any ``--jobs`` value.  Each campaign here runs
+four times — telemetry off/on at jobs 1 and 4 — over a fresh result
+store (store-backed exports are canonical: no wall-clock or worker-count
+field), and every export must be byte-equal to every other.
+
+Merged metric totals must also be deterministic: the counter sums from a
+serial run and a 4-worker run of the same campaign are identical
+(scalar engines only — the batch engine's per-worker caches make memo
+counters partition-dependent by design).
+"""
+
+import pytest
+
+from repro.crypto.keys import DeviceKeys
+from repro.faults.campaign import run_campaign as run_fault_campaign
+from repro.obs import Telemetry, campaign as obs_campaign
+from repro.workloads import make_workload
+
+SEED = 0x0B5
+KEY_SEED = 0x50F1A
+
+
+def _variants():
+    """(label, jobs, with_telemetry) — the four runs every test makes."""
+    return [("j1-off", 1, False), ("j1-on", 1, True),
+            ("j4-off", 4, False), ("j4-on", 4, True)]
+
+
+def _run(tmp_path, label, with_telemetry, campaign_name, fn):
+    """Run ``fn(telemetry, store_dir, export_path)``; return export bytes
+    and the telemetry counter totals (or None)."""
+    export = tmp_path / f"{label}.json"
+    store = tmp_path / f"store-{label}"
+    telemetry = Telemetry() if with_telemetry else None
+    with obs_campaign(telemetry, campaign_name, {"label": label}):
+        fn(telemetry, str(store), str(export))
+    counters = dict(telemetry.metrics.counters) if telemetry else None
+    return export.read_bytes(), counters
+
+
+class TestFaultInvisibility:
+    @pytest.fixture(scope="class")
+    def victim(self):
+        workload = make_workload("crc32", "tiny")
+        return (workload.compile().program, workload.expected_output,
+                DeviceKeys.from_seed(KEY_SEED))
+
+    def test_exports_and_merges(self, tmp_path, victim):
+        program, golden, keys = victim
+        exports, counters = {}, {}
+        for label, jobs, with_telemetry in _variants():
+            def fn(telemetry, store, export, jobs=jobs):
+                run_fault_campaign(
+                    program, keys, golden, per_model=2, seed=SEED,
+                    parallel=jobs > 1, jobs=jobs, export_path=export,
+                    store_dir=store, telemetry=telemetry)
+            exports[label], counters[label] = _run(
+                tmp_path, label, with_telemetry, "fault", fn)
+        assert len(set(exports.values())) == 1, \
+            "fault export differs between telemetry/jobs variants"
+        assert counters["j1-on"] == counters["j4-on"]
+        assert counters["j1-on"]["tasks.completed"] == 12  # 6 models x 2
+        assert counters["j1-on"]["sim.runs.predecoded"] > 0
+
+
+class TestAttacksynthInvisibility:
+    def test_exports_and_merges(self, tmp_path):
+        from repro.attacksynth import run_attacksynth
+        exports, counters = {}, {}
+        for label, jobs, with_telemetry in _variants():
+            def fn(telemetry, store, export, jobs=jobs):
+                run_attacksynth(
+                    2, seed=SEED, per_program=2, key_seed=KEY_SEED,
+                    parallel=jobs > 1, jobs=jobs, export_path=export,
+                    store_dir=store, telemetry=telemetry)
+            exports[label], counters[label] = _run(
+                tmp_path, label, with_telemetry, "attacksynth", fn)
+        assert len(set(exports.values())) == 1, \
+            "attacksynth export differs between telemetry/jobs variants"
+        assert counters["j1-on"] == counters["j4-on"]
+        assert counters["j1-on"]["tasks.completed"] == 2
+
+
+class TestDseInvisibility:
+    def test_exports_and_merges(self, tmp_path):
+        from repro.dse import run_dse
+        from repro.dse.grid import parse_profile_spec
+        profiles = [parse_profile_spec("rectangle-80:mac64:sequential"),
+                    parse_profile_spec("present-80:mac32:fixed")]
+        exports, counters = {}, {}
+        for label, jobs, with_telemetry in _variants():
+            def fn(telemetry, store, export, jobs=jobs):
+                run_dse(profiles, seed=SEED, key_seed=KEY_SEED,
+                        workloads=("crc32",), scale="tiny", programs=1,
+                        per_model=1, parallel=jobs > 1, jobs=jobs,
+                        export_path=export, store_dir=store,
+                        telemetry=telemetry)
+            exports[label], counters[label] = _run(
+                tmp_path, label, with_telemetry, "dse", fn)
+        assert len(set(exports.values())) == 1, \
+            "dse export differs between telemetry/jobs variants"
+        assert counters["j1-on"] == counters["j4-on"]
+        assert counters["j1-on"]["tasks.completed"] == len(profiles)
