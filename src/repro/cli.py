@@ -12,7 +12,8 @@ The toolchain workflow as a developer would drive it:
 ``attack``          run the attack campaign, print the E8 matrix
 ``attacksynth``     synthesize attacks against generated programs (E16)
 ``fuzz``            coverage-guided differential fuzzing campaign (E15)
-``dse``             design-space sweep over protection profiles (E17)
+``dse``             design-space sweep over protection profiles
+                    (E17; ``--hw`` adds the hardware axes, E20)
 ``fault``           fault-injection campaign on a workload (E11)
 ``montecarlo``      truncated-MAC Monte-Carlo experiments (E9)
 ``merge``           union sharded campaign result stores (E19)
@@ -35,7 +36,11 @@ serial path).  ``run`` and ``run-protected`` accept ``--engine
 (:mod:`repro.sim.engine`); ``fuzz``, ``attacksynth`` and ``dse`` accept
 ``--engine batch`` to route their campaigns through the bit-sliced
 batch engine (:mod:`repro.sim.batch`); results are bit-identical to the
-default scalar path either way.
+default scalar path either way.  ``dse --hw`` folds the profile-derived
+hardware cost model (:mod:`repro.hwmodel.profilecost`) into the sweep —
+``--unroll LIST`` picks the cipher unroll factors (default ``min``, each
+cipher's fetch-sustaining minimum) — and the export becomes the unified
+3-way Pareto over overhead, forgery bound and area-delay.
 
 ``fuzz``, ``attacksynth`` and ``dse`` also accept ``--resume DIR`` — a
 persistent result store (:mod:`repro.runner.store`) that makes the
@@ -342,13 +347,23 @@ def cmd_attacksynth(args) -> int:
 
 def cmd_dse(args) -> int:
     from .dse import resolve_profiles, run_dse
+    from .dse.campaign import check_unroll_specs
+    from .hwmodel.profilecost import parse_unroll_specs
     parallel, jobs = _parse_jobs(args.jobs)
     usage_error = _check_shard(args)
     if usage_error:
         print(f"error: {usage_error}", file=sys.stderr)
         return 2
+    if args.unroll is not None and not args.hw:
+        print("error: --unroll needs --hw (it parameterizes the "
+              "hardware axes)", file=sys.stderr)
+        return 2
     try:
         profiles = resolve_profiles(args.profiles, args.grid)
+        unrolls = (parse_unroll_specs(args.unroll)
+                   if args.unroll is not None else None)
+        if unrolls is not None:
+            check_unroll_specs(profiles, unrolls)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -357,6 +372,9 @@ def cmd_dse(args) -> int:
     kwargs = {}
     if workloads:
         kwargs["workloads"] = workloads
+    if args.hw:
+        kwargs["hw"] = True
+        kwargs["unrolls"] = unrolls
     telemetry = _make_telemetry(args)
     with obs.campaign(telemetry, "dse",
                       {"profiles": len(profiles), "seed": args.seed,
@@ -689,6 +707,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=("batch",), default=None,
                    help="route each point's campaigns through the "
                         "bit-sliced batch engine (byte-identical)")
+    p.add_argument("--hw", action="store_true",
+                   help="fold the hardware axes in: per-point area/clock "
+                        "from the profile cost model and the unified "
+                        "3-way Pareto (E20)")
+    p.add_argument("--unroll", metavar="LIST", default=None,
+                   help="comma-separated cipher unroll factors and/or "
+                        "'min' (requires --hw; default 'min' = each "
+                        "cipher's fetch-sustaining minimum)")
     _add_store_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_dse)

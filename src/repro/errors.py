@@ -58,6 +58,15 @@ class SimulationError(ReproError):
     """Raised for simulator misuse (bad memory map, missing entry, ...)."""
 
 
+class HardwareModelError(ReproError, ValueError):
+    """Raised by :mod:`repro.hwmodel` for out-of-range design parameters.
+
+    Subclasses :class:`ValueError` as well: the hardware model predates
+    the typed hierarchy and its callers (and tests) historically caught
+    ``ValueError`` for bad unroll factors — both spellings keep working.
+    """
+
+
 class IntegrityViolation(ReproError):
     """Raised (or recorded) by the simulated SOFIA core on a violation.
 

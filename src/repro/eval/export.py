@@ -112,17 +112,27 @@ DSE_CSV_HEADER = (
     "expected_collisions", "consistent", "fault_detected", "fault_sdc",
     "pareto", "error")
 
+#: column order of the unified E17+hardware (E20) Pareto CSV: the E17
+#: columns plus the profile-derived hardware axes, one row per
+#: (design point, unroll factor); ``--hw`` off keeps the narrow header
+#: so pre-hardware artifacts stay byte-identical
+DSE_HW_CSV_HEADER = DSE_CSV_HEADER + (
+    "unroll", "cipher_cycles", "datapath_slices", "slices", "clock_mhz",
+    "path_ns", "area_delay", "hw_pareto")
+
 
 def dse_csv(rows: Sequence[Dict[str, Any]],
-            path: Optional[str] = None) -> str:
-    """E17 data: the design-space Pareto table, one design point per row.
+            path: Optional[str] = None,
+            header: Sequence[str] = DSE_CSV_HEADER) -> str:
+    """E17/E20 data: the design-space Pareto table, one row per point.
 
-    ``rows`` are plain dicts keyed by :data:`DSE_CSV_HEADER` (produced by
-    ``DseReport.csv_rows`` in :mod:`repro.dse`), so this exporter stays
-    decoupled from the campaign types.
+    ``rows`` are plain dicts keyed by ``header`` — :data:`DSE_CSV_HEADER`
+    (produced by ``DseReport.csv_rows``) or :data:`DSE_HW_CSV_HEADER`
+    (``DseReport.hw_csv_rows``, one row per point x unroll) — so this
+    exporter stays decoupled from the campaign types.
     """
-    return _write(DSE_CSV_HEADER,
-                  [[row.get(key, "") for key in DSE_CSV_HEADER]
+    return _write(header,
+                  [[row.get(key, "") for key in header]
                    for row in rows],
                   path)
 

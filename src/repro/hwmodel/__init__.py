@@ -1,4 +1,4 @@
-"""FPGA area/timing model (Table I substitute)."""
+"""FPGA area/timing model (Table I substitute + profile-driven costing)."""
 
 from .components import (CIPHER_PROFILES, CIPHER_ROUNDS, CipherProfile,
                          PAPER_UNROLL, PRESENT_PROFILE, RECTANGLE_PROFILE,
@@ -8,6 +8,10 @@ from .components import (CIPHER_PROFILES, CIPHER_ROUNDS, CipherProfile,
 from .design import (CipherChoice, HardwareDesign, Table1, Table1Row,
                      UnrollPoint, cipher_ablation, sofia_design, table1,
                      unroll_ablation, vanilla_design)
+from .profilecost import (CYCLES_BUDGET, ProfileHardware, cipher_hw_profile,
+                          hw_point_label, legal_unrolls, min_legal_unroll,
+                          parse_unroll_specs, profile_cost, profile_costs,
+                          resolve_unrolls, sofia_profile_components)
 
 __all__ = [
     "Component", "leon3_components", "sofia_components",
@@ -17,4 +21,8 @@ __all__ = [
     "PRESENT_PROFILE", "CipherChoice", "cipher_ablation",
     "HardwareDesign", "vanilla_design", "sofia_design",
     "Table1", "Table1Row", "table1", "UnrollPoint", "unroll_ablation",
+    "CYCLES_BUDGET", "ProfileHardware", "cipher_hw_profile",
+    "hw_point_label", "legal_unrolls", "min_legal_unroll",
+    "parse_unroll_specs", "profile_cost", "profile_costs",
+    "resolve_unrolls", "sofia_profile_components",
 ]

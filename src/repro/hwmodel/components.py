@@ -13,13 +13,17 @@ The model supports the unroll-factor ablation: fewer unrolled rounds
 shorten the critical path (faster clock) but increase the cycles per cipher
 operation; the paper needs a 64-bit operation every 2 cycles to keep the
 fetch stream moving, which forces ``ceil(26 / unroll) <= 2`` i.e.
-``unroll >= 13`` — exactly the paper's design point.
+``unroll >= 13`` — exactly the paper's design point.  The profile-aware
+generalization of that constraint (PRESENT's 31 rounds force
+``unroll >= 16``) lives in :mod:`repro.hwmodel.profilecost`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import List
+
+from ..errors import HardwareModelError
 
 #: RECTANGLE's published latency in cycles (iterated implementation).
 CIPHER_ROUNDS = 26
@@ -42,6 +46,10 @@ class CipherProfile:
     larger but barely slower than PRESENT's, while PRESENT needs 31 rounds
     — so at the fetch-sustaining design point (one operation per two
     cycles) RECTANGLE clocks higher, which is why SOFIA picked it.
+
+    Every unroll-taking method validates against *this cipher's* round
+    count (PRESENT accepts 27..31 where RECTANGLE does not) and raises
+    :class:`~repro.errors.HardwareModelError` out of range.
     """
 
     name: str
@@ -50,21 +58,31 @@ class CipherProfile:
     round_ns: float
     overhead_ns: float = CIPHER_OVERHEAD_NS
 
+    def _check_unroll(self, unroll: int) -> None:
+        if not isinstance(unroll, int) or not 1 <= unroll <= self.rounds:
+            raise HardwareModelError(
+                f"{self.name}: unroll must be an integer in "
+                f"1..{self.rounds} (its round count), got {unroll!r}")
+
     def datapath_slices(self, unroll: int) -> int:
-        if not 1 <= unroll <= self.rounds:
-            raise ValueError(f"unroll must be in 1..{self.rounds}")
+        self._check_unroll(unroll)
         return round(self.slices_per_round * unroll)
 
     def path_ns(self, unroll: int) -> float:
-        if not 1 <= unroll <= self.rounds:
-            raise ValueError(f"unroll must be in 1..{self.rounds}")
+        self._check_unroll(unroll)
         return unroll * self.round_ns + self.overhead_ns
 
     def cycles_per_op(self, unroll: int) -> int:
+        """Cycles for one 64-bit operation at ``unroll`` rounds/cycle."""
+        self._check_unroll(unroll)
         return -(-self.rounds // unroll)
 
     def min_sustaining_unroll(self, cycles_budget: int = 2) -> int:
         """Smallest unroll giving one operation per ``cycles_budget``."""
+        if not isinstance(cycles_budget, int) or cycles_budget < 1:
+            raise HardwareModelError(
+                f"cycles_budget must be a positive integer, "
+                f"got {cycles_budget!r}")
         return -(-self.rounds // cycles_budget)
 
 
@@ -101,21 +119,17 @@ def leon3_components() -> List[Component]:
 
 def cipher_datapath_slices(unroll: int) -> int:
     """Area of the RECTANGLE datapath with ``unroll`` combinational rounds."""
-    if not 1 <= unroll <= CIPHER_ROUNDS:
-        raise ValueError(f"unroll must be in 1..{CIPHER_ROUNDS}")
-    return round(SLICES_PER_ROUND * unroll)
+    return RECTANGLE_PROFILE.datapath_slices(unroll)
 
 
 def cipher_path_ns(unroll: int) -> float:
     """Critical path through ``unroll`` combinational RECTANGLE rounds."""
-    if not 1 <= unroll <= CIPHER_ROUNDS:
-        raise ValueError(f"unroll must be in 1..{CIPHER_ROUNDS}")
-    return unroll * ROUND_DELAY_NS + CIPHER_OVERHEAD_NS
+    return RECTANGLE_PROFILE.path_ns(unroll)
 
 
 def cipher_cycles_per_op(unroll: int) -> int:
     """Cycles for one 64-bit cipher operation at a given unroll factor."""
-    return -(-CIPHER_ROUNDS // unroll)
+    return RECTANGLE_PROFILE.cycles_per_op(unroll)
 
 
 def sofia_components(unroll: int = PAPER_UNROLL) -> List[Component]:

@@ -12,7 +12,7 @@ footprint.
 The decrypt path adds no per-word stall: the unrolled two-cycle RECTANGLE
 alternates CTR and CBC operations every other cycle and is fully pipelined
 with fetch (paper §III) — it costs *clock frequency* (see
-:mod:`repro.hwmodel.timing`), not cycles.
+:mod:`repro.hwmodel.profilecost`), not cycles.
 """
 
 from __future__ import annotations

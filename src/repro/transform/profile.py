@@ -48,6 +48,11 @@ RENONCE_POLICIES: Tuple[str, ...] = ("sequential", "fixed")
 _MAC_CODE = {2: 0, 1: 1, 3: 2}
 _MAC_FROM_CODE = {code: words for words, code in _MAC_CODE.items()}
 
+#: upper bound on the block geometry: the image header stores the block
+#: size in one byte of words, and a block must fit an I-cache line
+#: multiple — anything past this is an absurd design point, not a sweep
+MAX_BLOCK_WORDS = 256
+
 
 @dataclass(frozen=True)
 class ProtectionProfile:
@@ -69,6 +74,10 @@ class ProtectionProfile:
             raise ValueError(
                 f"renonce policy must be one of {RENONCE_POLICIES}, "
                 f"got {self.renonce!r}")
+        if not 0 < self.block_words <= MAX_BLOCK_WORDS:
+            raise ValueError(
+                f"block_words must be in 1..{MAX_BLOCK_WORDS}, "
+                f"got {self.block_words}")
         # delegates the geometry check (block_words vs seal width)
         self.to_config()
 
@@ -194,9 +203,9 @@ def profile_grid(ciphers: Iterable[str] = ("rectangle-80", "present-80"),
     grid = []
     for cipher in ciphers:
         for bits in mac_bits:
-            if bits % 32:
-                raise ValueError(f"mac_bits must be a multiple of 32, "
-                                 f"got {bits}")
+            if bits <= 0 or bits % 32:
+                raise ValueError(f"mac_bits must be a positive multiple "
+                                 f"of 32, got {bits}")
             for policy in renonce:
                 for bw in block_words:
                     for sched in schedule_stores:

@@ -30,6 +30,40 @@ class TestSpecs:
         with pytest.raises(ValueError, match="multiple of 32"):
             parse_profile_spec("mac48")
 
+    def test_mac0_rejected_at_parse_time(self):
+        # regression: 0 is a multiple of 32, so "mac0" used to slip past
+        # the width check and explode later in the transform
+        with pytest.raises(ValueError, match="positive multiple of 32"):
+            parse_profile_spec("rectangle-80:mac0")
+        with pytest.raises(ValueError, match="positive multiple of 32"):
+            parse_grid("rectangle-80:0:sequential")
+
+    def test_nonpositive_block_words_rejected_at_parse_time(self):
+        # regression: "bw0" parsed fine and produced a degenerate layout
+        with pytest.raises(ValueError, match="block_words must be in 1"):
+            parse_profile_spec("rectangle-80:bw0")
+        with pytest.raises(ValueError, match="block_words must be in 1"):
+            parse_grid("rectangle-80:64:sequential:0")
+
+    def test_absurd_block_words_rejected_at_parse_time(self):
+        # regression: bw1000000 was accepted and swept a nonsense point
+        with pytest.raises(ValueError, match="block_words must be in 1"):
+            parse_profile_spec("rectangle-80:bw1000000")
+        with pytest.raises(ValueError, match="block_words must be in 1"):
+            parse_grid("rectangle-80:64:sequential:257")
+        assert parse_profile_spec("rectangle-80:bw256").block_words == 256
+
+    def test_profile_constructor_refuses_bad_values_too(self):
+        # the parse-time checks mirror constructor-level validation
+        with pytest.raises(ValueError, match="mac_words"):
+            ProtectionProfile(mac_words=0)
+        with pytest.raises(ValueError, match="block_words must be in 1"):
+            ProtectionProfile(block_words=0)
+        with pytest.raises(ValueError, match="block_words must be in 1"):
+            ProtectionProfile(block_words=-8)
+        with pytest.raises(ValueError, match="block_words must be in 1"):
+            ProtectionProfile(block_words=1_000_000)
+
     def test_profile_list(self):
         profiles = parse_profiles(
             "rectangle-80:mac64:sequential, present-80:mac32:fixed")

@@ -2,10 +2,12 @@
 
 import pytest
 
-from repro.hwmodel import (CIPHER_ROUNDS, PAPER_UNROLL,
-                           cipher_cycles_per_op, cipher_datapath_slices,
-                           cipher_path_ns, sofia_design, table1,
-                           unroll_ablation, vanilla_design)
+from repro.errors import HardwareModelError, ReproError
+from repro.hwmodel import (CIPHER_ROUNDS, PAPER_UNROLL, PRESENT_PROFILE,
+                           RECTANGLE_PROFILE, cipher_cycles_per_op,
+                           cipher_datapath_slices, cipher_path_ns,
+                           sofia_design, table1, unroll_ablation,
+                           vanilla_design)
 
 
 class TestTable1:
@@ -54,6 +56,37 @@ class TestComponents:
             cipher_datapath_slices(0)
         with pytest.raises(ValueError):
             cipher_path_ns(27)
+
+    def test_invalid_unroll_raises_typed_error(self):
+        # HardwareModelError subclasses ValueError, so both spellings work
+        with pytest.raises(HardwareModelError, match="RECTANGLE-80"):
+            cipher_datapath_slices(0)
+        assert issubclass(HardwareModelError, ReproError)
+
+    def test_unroll_bounds_follow_the_cipher_round_count(self):
+        # regression: the bound was hardcoded to RECTANGLE's 26 rounds,
+        # so PRESENT silently rejected its own legal 27..31 factors
+        assert PRESENT_PROFILE.datapath_slices(31) == round(31 * 74.0)
+        assert PRESENT_PROFILE.cycles_per_op(27) == 2
+        with pytest.raises(HardwareModelError, match="PRESENT-80"):
+            PRESENT_PROFILE.path_ns(32)
+        with pytest.raises(HardwareModelError, match="RECTANGLE-80"):
+            RECTANGLE_PROFILE.cycles_per_op(27)
+
+    def test_zero_unroll_is_a_model_error_not_a_crash(self):
+        # regression: cycles_per_op(0) used to raise ZeroDivisionError
+        with pytest.raises(HardwareModelError):
+            cipher_cycles_per_op(0)
+        with pytest.raises(HardwareModelError):
+            RECTANGLE_PROFILE.cycles_per_op(-3)
+
+    def test_min_sustaining_unroll(self):
+        assert RECTANGLE_PROFILE.min_sustaining_unroll(2) == 13
+        assert PRESENT_PROFILE.min_sustaining_unroll(2) == 16
+        assert RECTANGLE_PROFILE.min_sustaining_unroll(1) == 26
+        assert RECTANGLE_PROFILE.min_sustaining_unroll(100) == 1
+        with pytest.raises(HardwareModelError, match="cycles_budget"):
+            RECTANGLE_PROFILE.min_sustaining_unroll(0)
 
     def test_report_renders(self):
         assert "slices" in vanilla_design().report()
