@@ -31,12 +31,14 @@ provisions the device keys for the image's embedded profile.  The
 ``attack``, ``experiments`` and ``dse`` commands accept ``--jobs N`` to
 fan their campaigns across N worker processes via :mod:`repro.runner`
 (``--jobs 0`` means one per CPU; the default of 1 runs the bit-identical
-serial path).  ``run`` and ``run-protected`` accept ``--engine
-{predecoded,reference,batch}`` to pin the execution engine
-(:mod:`repro.sim.engine`); ``fuzz``, ``attacksynth`` and ``dse`` accept
-``--engine batch`` to route their campaigns through the bit-sliced
-batch engine (:mod:`repro.sim.batch`); results are bit-identical to the
-default scalar path either way.  ``dse --hw`` folds the profile-derived
+serial path).  ``run`` and ``run-protected`` accept ``--engine`` with
+any registered engine (:data:`repro.sim.engine.ENGINES`) to pin the
+execution engine; ``fuzz``, ``attacksynth`` and ``dse`` accept
+``--engine`` with any campaign-grade engine
+(:data:`repro.sim.engine.CAMPAIGN_ENGINES` — the bit-sliced batch
+engine of :mod:`repro.sim.batch` or the fused-superblock engine of
+:mod:`repro.sim.fused`); results are bit-identical to the default
+scalar path either way.  ``dse --hw`` folds the profile-derived
 hardware cost model (:mod:`repro.hwmodel.profilecost`) into the sweep —
 ``--unroll LIST`` picks the cipher unroll factors (default ``min``, each
 cipher's fetch-sustaining minimum) — and the export becomes the unified
@@ -80,7 +82,7 @@ from .eval import (experiment_adpcm, experiment_blocksize,
                    experiment_workloads, format_overhead_rows,
                    render_blocksize, render_muxtree, render_unroll)
 from .isa.disassembler import dump
-from .sim.engine import ENGINES
+from .sim.engine import CAMPAIGN_ENGINES, DEFAULT_ENGINE, ENGINES
 from .sim.trace import list_image, trace_vanilla
 from .sim.vanilla import VanillaMachine
 from .transform.config import TransformConfig
@@ -317,7 +319,7 @@ def cmd_attacksynth(args) -> int:
         with obs.campaign(telemetry, "attacksynth",
                           {"programs": programs, "seed": args.seed,
                            "jobs": args.jobs,
-                           "engine": args.engine or "predecoded"}):
+                           "engine": args.engine or DEFAULT_ENGINE}):
             report = run_attacksynth(
                 programs, seed=args.seed, per_program=args.per_program,
                 parallel=parallel, jobs=jobs, corpus_dir=args.corpus,
@@ -379,7 +381,7 @@ def cmd_dse(args) -> int:
     with obs.campaign(telemetry, "dse",
                       {"profiles": len(profiles), "seed": args.seed,
                        "scale": args.scale, "jobs": args.jobs,
-                       "engine": args.engine or "predecoded"}):
+                       "engine": args.engine or DEFAULT_ENGINE}):
         report = run_dse(profiles, seed=args.seed, key_seed=args.key_seed,
                          scale=args.scale, programs=args.programs,
                          per_model=args.per_model, parallel=parallel,
@@ -409,7 +411,7 @@ def cmd_fuzz(args) -> int:
     with obs.campaign(telemetry, "fuzz",
                       {"seeds": args.seeds, "seed": args.seed,
                        "batch": args.batch, "jobs": args.jobs,
-                       "engine": args.engine or "predecoded"}):
+                       "engine": args.engine or DEFAULT_ENGINE}):
         report = run_fuzz(seeds=args.seeds, seed=args.seed,
                           batch=args.batch,
                           parallel=parallel, jobs=jobs,
@@ -457,7 +459,7 @@ def cmd_fault(args) -> int:
                       {"workload": args.workload, "scale": args.scale,
                        "per_model": args.per_model, "seed": args.seed,
                        "jobs": args.jobs,
-                       "engine": args.engine or "predecoded"}):
+                       "engine": args.engine or DEFAULT_ENGINE}):
         results, summary = run_fault_campaign(
             victim.compile().program, keys, victim.expected_output,
             per_model=args.per_model, seed=args.seed,
@@ -667,9 +669,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", metavar="SPEC",
                    help="seal the victims under this design point "
                         "(e.g. present-80:mac32:fixed)")
-    p.add_argument("--engine", choices=("batch",), default=None,
-                   help="route the campaign through the bit-sliced batch "
-                        "engine (results are byte-identical)")
+    p.add_argument("--engine", choices=CAMPAIGN_ENGINES, default=None,
+                   help="route the campaign through this engine "
+                        "(results are byte-identical)")
     _add_store_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_attacksynth)
@@ -704,9 +706,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the sweep record as canonical JSON")
     p.add_argument("--csv", metavar="FILE",
                    help="write the Pareto table as CSV")
-    p.add_argument("--engine", choices=("batch",), default=None,
-                   help="route each point's campaigns through the "
-                        "bit-sliced batch engine (byte-identical)")
+    p.add_argument("--engine", choices=CAMPAIGN_ENGINES, default=None,
+                   help="route each point's campaigns through this "
+                        "engine (byte-identical)")
     p.add_argument("--hw", action="store_true",
                    help="fold the hardware axes in: per-point area/clock "
                         "from the profile cost model and the unified "
@@ -737,9 +739,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="specimens per scheduling round (default 50)")
     p.add_argument("--baselines", action="store_true",
                    help="also lockstep the XOR/ECB ISR baseline machines")
-    p.add_argument("--engine", choices=("batch",), default=None,
-                   help="widen the SOFIA engine axis to the three-way "
-                        "reference/predecoded/batch lockstep")
+    p.add_argument("--engine", choices=CAMPAIGN_ENGINES, default=None,
+                   help="widen the engine axis to a three-way "
+                        "reference/predecoded/ENGINE lockstep")
     _add_store_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_fuzz)
@@ -763,8 +765,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", metavar="SPEC",
                    help="seal the victim under this design point "
                         "(e.g. present-80:mac32:fixed)")
-    p.add_argument("--engine", choices=("batch",), default=None,
-                   help="route the specimens through the lockstep batch "
+    p.add_argument("--engine", choices=CAMPAIGN_ENGINES, default=None,
+                   help="route the specimens through this lockstep "
                         "engine (results are byte-identical)")
     _add_store_args(p)
     _add_obs_args(p)

@@ -99,8 +99,9 @@ def _compare_engines(axis: str, make_machine, budget: int,
     every differing observable.
 
     Returns the predecoded run's (machine, result) — the pair the rest
-    of the oracle keeps reasoning about.  Each extra engine (the batch
-    axis adds ``"batch"``) is held to the same bit-identical contract.
+    of the oracle keeps reasoning about.  Each extra engine (the
+    ``--engine`` opt-in adds ``"batch"`` or ``"fused"``) is held to the
+    same bit-identical contract.
     """
     pre = make_machine("predecoded")
     pre_result = pre.run(max_instructions=budget)
@@ -152,10 +153,12 @@ def run_oracle(specimen: Specimen, keys: DeviceKeys,
     forever, so reduction probes run with budgets scaled to the
     original failure instead of the full campaign budgets.
 
-    ``engine="batch"`` widens the SOFIA engine axis to a three-way
-    lockstep — reference and batch each compared bit-for-bit against
-    predecoded — so every fuzzing campaign that opts in also
-    differential-tests the bit-sliced front end on generated programs.
+    ``engine="batch"`` or ``engine="fused"`` widens the SOFIA engine
+    axis to a three-way lockstep — reference and the chosen engine each
+    compared bit-for-bit against predecoded — so every fuzzing campaign
+    that opts in also differential-tests that engine on generated
+    programs.  ``"fused"`` additionally widens the vanilla axis (the
+    fused engine exists on both cores; batch is SOFIA-only).
     """
     report = OracleReport(specimen=specimen)
     genome = specimen.genome
@@ -176,12 +179,13 @@ def run_oracle(specimen: Specimen, keys: DeviceKeys,
     report.features.extend(image_features(image, timing.icache_line_words))
 
     divergences = report.divergences
+    extra = () if engine in (None, "predecoded") else (engine,)
+    vanilla_engines = ("reference",) + (extra if engine == "fused" else ())
     _, vanilla = _compare_engines(
         "vanilla-engine",
-        lambda engine: VanillaMachine(executable, timing, engine=engine),
-        vanilla_budget, divergences)
-    sofia_engines = (("reference", "batch") if engine == "batch"
-                     else ("reference",))
+        lambda eng: VanillaMachine(executable, timing, engine=eng),
+        vanilla_budget, divergences, engines=vanilla_engines)
+    sofia_engines = ("reference",) + extra
     _, sofia = _compare_engines(
         "sofia-engine",
         lambda eng: SofiaMachine(image, keys, timing, engine=eng),

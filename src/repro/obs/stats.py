@@ -79,10 +79,15 @@ def summarize(directory) -> Tuple[str, int]:
         if campaign_seconds:
             for name, value in sorted(counters.items()):
                 if name.startswith("sim.instructions."):
-                    engine = name.split(".", 2)[2]
-                    out.append(
-                        f"  throughput  {value / campaign_seconds:,.0f} "
-                        f"instructions/s ({engine}, campaign wall)")
+                    label = name[len("sim.instructions."):] + " sofia"
+                elif name.startswith("sim.vanilla.instructions."):
+                    label = (name[len("sim.vanilla.instructions."):]
+                             + " vanilla")
+                else:
+                    continue
+                out.append(
+                    f"  throughput  {value / campaign_seconds:,.0f} "
+                    f"instructions/s ({label}, campaign wall)")
         histograms = metrics.get("histograms", {})
         if histograms:
             out.append("  histograms")

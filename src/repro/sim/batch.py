@@ -29,13 +29,16 @@ any terminal (non-LIMIT) status because re-running a halted machine
 re-executes block payload — forks made after that point replicate the
 terminal state, exactly like the scalar path.
 
-Specimens resume on the scalar predecoded engine, so every per-commit
-observable (registers, PC, memory, cycles, I-cache stats) is
-byte-identical to a fresh scalar run — the batch differential suite and
-the W=1 == scalar determinism tests gate this.
+Specimens resume on the fused-superblock engine (one compiled call per
+verified block, bit-identical to the scalar predecoded loop — see
+:mod:`repro.sim.fused`), so every per-commit observable (registers, PC,
+memory, cycles, I-cache stats) is byte-identical to a fresh scalar run —
+the batch differential suite and the W=1 == scalar determinism tests gate
+this, and the peel-off suffixes no longer pay the per-instruction
+dispatch that capped E18.
 
-``SofiaMachine(..., engine="batch")`` means: the predecoded run loop over
-a batch-warmed front end (warmed lazily on the first ``run()``).
+``SofiaMachine(..., engine="batch")`` means: the fused run loop over a
+batch-warmed front end (warmed lazily on the first ``run()``).
 """
 
 from __future__ import annotations
@@ -149,7 +152,7 @@ def fork_machine(source: SofiaMachine) -> SofiaMachine:
     clears and repopulates *its own* copy from its own memory.
     """
     clone = SofiaMachine(source.image, source.keys, timing=source.timing,
-                         memoize=source.memoize, engine="predecoded",
+                         memoize=source.memoize, engine="fused",
                          profile=source.profile)
     clone.state.regs[:] = source.state.regs
     clone.state.pc = source.state.pc
@@ -186,7 +189,7 @@ class LockstepLeader:
     def __init__(self, image, keys, timing: TimingParams = DEFAULT_TIMING,
                  profile=None, warm: bool = True) -> None:
         self.machine = SofiaMachine(image, keys, timing=timing,
-                                    engine="predecoded", profile=profile)
+                                    engine="fused", profile=profile)
         if warm:
             warm_front_end(self.machine)
         self.executed = 0

@@ -53,11 +53,21 @@ SIGN_BIT = 0x80000000
 HALT = -1
 
 #: the engines a machine can run; the predecoded engine is the default,
-#: ``"reference"`` selects the original ``core.execute`` oracle loop and
-#: ``"batch"`` the predecoded loop over a bit-slice-warmed front end
-#: (:mod:`repro.sim.batch`)
-ENGINES = ("predecoded", "reference", "batch")
+#: ``"reference"`` selects the original ``core.execute`` oracle loop,
+#: ``"batch"`` the bit-slice-warmed front end (:mod:`repro.sim.batch`)
+#: whose runs execute fused, and ``"fused"`` the superblock engine that
+#: source-compiles each straight-line run into one call
+#: (:mod:`repro.sim.fused`).  This tuple is the single home of the engine
+#: name surface: CLI choices, fuzz-oracle axes and campaign plumbing all
+#: derive from it.
+ENGINES = ("predecoded", "reference", "batch", "fused")
 DEFAULT_ENGINE = "predecoded"
+
+#: the engines campaign drivers accept beyond the default: everything that
+#: is not the default scalar loop or the reference oracle (derived, never
+#: repeated as a literal tuple elsewhere)
+CAMPAIGN_ENGINES = tuple(e for e in ENGINES
+                         if e not in (DEFAULT_ENGINE, "reference"))
 
 Handler = Callable[[list, Memory, int], Optional[int]]
 

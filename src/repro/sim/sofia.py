@@ -23,7 +23,7 @@ hardware where each fetch re-decrypts and re-verifies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..crypto.ctr import EdgeKeystream
 from ..crypto.keys import DeviceKeys
@@ -58,6 +58,14 @@ class _VerifiedBlock:
     #: into one tuple on the block's first traversal (dies with the block
     #: on any code write); see ``SofiaMachine._compile_hot``
     hot: Optional[tuple] = None
+    #: the fused-superblock run handlers (repro.sim.fused): the whole
+    #: payload source-compiled into one call, cached exactly like ``hot``
+    #: (and invalidated with it); ``fused_hook`` is the traced/generic
+    #: variant, compiled lazily only when a hook or pending exit needs it.
+    #: Handlers bind no machine state, so forks sharing block objects
+    #: share the compiled code too.
+    fused: Optional[Callable] = None
+    fused_hook: Optional[Callable] = None
 
 
 class SofiaMachine:
@@ -96,6 +104,15 @@ class SofiaMachine:
         self.prev_pc = RESET_PREV_PC
         self._config = self.profile.to_config(code_base=image.code_base)
         self._block_cache: Dict[Tuple[int, int], _VerifiedBlock] = {}
+        #: flat edge -> fused-run-handler memos so the fused hot loop is a
+        #: single dict probe (rebuilt lazily from the block memos; forks
+        #: start empty but reuse the handlers shared via the blocks)
+        self._fused_edges: Dict[Tuple[int, int], Callable] = {}
+        self._fused_hook_edges: Dict[Tuple[int, int], Callable] = {}
+        #: edges seen exactly once by the fused engine: the first
+        #: traversal is interpreted over the predecoded hot tuple, only
+        #: the second pays the source compile (one-shot code never does)
+        self._fused_heat: Dict[Tuple[int, int], int] = {}
         self.memory.add_code_listener(self._on_code_write)
         #: fault-injection hooks (see repro.faults): a glitched comparator
         #: accepts this many failing MAC checks; a transient fetch glitch
@@ -117,6 +134,9 @@ class SofiaMachine:
 
     def _on_code_write(self, _address: int) -> None:
         self._block_cache.clear()
+        self._fused_edges.clear()
+        self._fused_hook_edges.clear()
+        self._fused_heat.clear()
         self.keystream = EdgeKeystream(self.keys.encryption_cipher,
                                        self.image.nonce)
 
@@ -281,13 +301,15 @@ class SofiaMachine:
     def run(self, max_instructions: int = 50_000_000) -> ExecutionResult:
         if self.engine == "reference":
             result = self._run_reference(max_instructions)
+        elif self.engine == "predecoded":
+            result = self._run_predecoded(max_instructions)
         else:
             if self.engine == "batch" and self._mac_cache is None:
-                # batch engine == the predecoded loop over a front end
+                # batch engine == the fused run loop over a front end
                 # warmed in one bit-sliced sweep (lazy import: cycle)
                 from .batch import warm_front_end
                 warm_front_end(self)
-            result = self._run_predecoded(max_instructions)
+            result = self._run_fused(max_instructions)
         obs = self._obs
         if obs is not None:
             # run-level throughput counters, read off the finished
@@ -566,6 +588,252 @@ class SofiaMachine:
             trap_reason=trap_reason, icache=icache.stats,
             blocks_executed=blocks_executed,
             mac_fetch_cycles=mac_fetch_cycles)
+
+    def _run_fused(self, max_instructions: int) -> ExecutionResult:
+        """The fused-superblock loop: one compiled call per block.
+
+        Bit-identical to :meth:`_run_predecoded` (and thus to the
+        reference oracle): each verified block's payload is
+        source-compiled into a single run handler
+        (:func:`repro.sim.fused.compile_sofia_block`) cached on the block
+        right next to the predecoded ``hot`` tuple, with the same
+        lifetime — any code write drops the block memo and the handler
+        with it.  Mid-run traps, MMIO exits, halts, taken/not-taken
+        costs, I-cache statistics and the block-level
+        ``max(fetch, exec)`` bottleneck are all folded into the handler's
+        compile-time constants (see the module docstring of
+        :mod:`repro.sim.fused` for the trap-equivalence argument).
+        Compiles are cold paths: the ``sim.fused_compile`` counter fires
+        only there, so telemetry-off runs never touch the sink.
+        """
+        state = self.state
+        icache = self.icache
+        memory = self.memory
+        mmio = memory.mmio
+        regs = state.regs
+        ld = memory.load
+        st = memory.store
+        ram = memory.ram
+        on_commit = self.on_commit
+        tags = icache._tags
+        hits = 0
+        misses = 0
+        cycles = 0
+        executed = 0
+        blocks_executed = 0
+        mac_fetch_cycles = 0
+        status: Optional[Status] = None
+        trap_reason = ""
+        violation: Optional[ViolationRecord] = None
+        # same rule as the predecoded loop: a hook or an already-written
+        # exit register selects the generic (polling) variant
+        generic = (on_commit is not None) or mmio.exit_code is not None
+        get_edge = (self._fused_hook_edges if generic
+                    else self._fused_edges).get
+        # every handler returns its successor edge as a compile-time
+        # constant (or None when the run ends), so the hot path below is
+        # one dict probe, one call and one unpack per verified block
+        key = (self.prev_pc, state.pc)
+        # a transient fetch glitch (pending_fetch_restore) can only be
+        # armed before the run or while a block is decrypted — i.e. on the
+        # cold path — so the hot loop polls the attribute only then
+        restore_check = self.pending_fetch_restore is not None
+
+        while executed < max_instructions:
+            fn = get_edge(key)
+            if fn is None:
+                fn = self._fused_handler(key, generic)
+                restore_check = True
+            if generic:
+                n, cyc, h, mr, mc, key2, arg = fn(regs, ld, st, mmio,
+                                                  tags, ram, on_commit)
+            else:
+                n, cyc, h, mr, mc, key2, arg = fn(regs, ld, st, mmio,
+                                                  tags, ram)
+            blocks_executed += 1
+            executed += n
+            cycles += cyc
+            hits += h
+            misses += mr
+            mac_fetch_cycles += mc
+            if restore_check:
+                restore_check = False
+                if self.pending_fetch_restore is not None:
+                    address, original = self.pending_fetch_restore
+                    self.pending_fetch_restore = None
+                    memory.poke_code(address, original)
+            if key2 is not None:
+                key = key2
+                continue
+            code, payload = arg
+            if code == 2:
+                status = Status.HALT
+            elif code == 3:
+                status = Status.EXIT
+            elif code == 4:
+                status = Status.TRAP
+                trap_reason = payload
+            else:
+                status = Status.RESET
+                violation = payload
+            break
+        # terminal handlers return no successor, leaving pc/prev_pc at the
+        # block entry — exactly where the predecoded loop leaves them
+        self.prev_pc, self.state.pc = key
+        icache.stats.hits += hits
+        icache.stats.misses += misses
+        return ExecutionResult(
+            status=status if status is not None else Status.LIMIT,
+            cycles=cycles, instructions=executed,
+            exit_code=mmio.exit_code, mmio=mmio, violation=violation,
+            trap_reason=trap_reason, icache=icache.stats,
+            blocks_executed=blocks_executed,
+            mac_fetch_cycles=mac_fetch_cycles)
+
+    def _fused_handler(self, key: Tuple[int, int], generic: bool):
+        """Cold path of :meth:`_run_fused`: produce one edge's handler.
+
+        Warm-up policy: the first ``COMPILE_THRESHOLD - 1`` traversals of
+        an edge are executed by :meth:`_fused_interp` — the predecoded
+        inner loop itself, speaking the fused return protocol — and only
+        a genuinely hot edge pays the source compile, so one-shot and
+        lukewarm code never compiles at all.  Compiled
+        handlers are cached on the block (forks sharing block objects
+        share the code) and memoized in the flat edge dict probed by the
+        hot loop.  Transient blocks — a glitched comparator's one-shot
+        force-accept, or any block on a ``memoize=False`` machine — are
+        always interpreted and never reach the edge dict, preserving
+        their re-verify-next-traversal semantics.
+        """
+        from .fused import COMPILE_THRESHOLD, compile_sofia_block
+        block = self._block_cache.get(key)
+        transient = False
+        if block is None:
+            block = self.decrypt_and_verify(*key)
+            transient = self._block_cache.get(key) is not block
+        fn = block.fused_hook if generic else block.fused
+        if fn is None:
+            heat = self._fused_heat.get(key, 0) + 1
+            if transient or heat < COMPILE_THRESHOLD:
+                if not transient:
+                    self._fused_heat[key] = heat
+                if generic:
+                    return (lambda r, ld, st, mmio, tags, ram, h,
+                            _b=block: self._fused_interp(_b, True))
+                return (lambda r, ld, st, mmio, tags, ram,
+                        _b=block: self._fused_interp(_b, False))
+            self._fused_heat.pop(key, None)
+            fn = compile_sofia_block(
+                block, self.timing, self.icache, self.memory,
+                self.image.block_bytes, hooked=generic)
+            if generic:
+                block.fused_hook = fn
+            else:
+                block.fused = fn
+            if self._obs is not None:
+                self._obs.count("sim.fused_compile")
+        (self._fused_hook_edges if generic
+         else self._fused_edges)[key] = fn
+        return fn
+
+    def _fused_interp(self, block: _VerifiedBlock, generic: bool):
+        """One predecoded traversal of ``block``, fused return protocol.
+
+        This is the inner block body of :meth:`_run_predecoded`
+        transliterated (same hot tuple, same step handlers, same
+        ordering), used by :meth:`_fused_handler` to warm an edge up
+        before spending a source compile on it.  Returns the same
+        ``(n, cycles, hits, misses, mac_cycles, next_key, arg)`` a
+        compiled handler would.
+        """
+        hot = block.hot
+        if hot is None:
+            hot = block.hot = self._compile_hot(block)
+        (ok, fetch_cycles, runs, mac_cycles, steps,
+         fallthrough_prev, fallthrough_pc, block_violation,
+         block_trap) = hot
+        memory = self.memory
+        mmio = memory.mmio
+        regs = self.state.regs
+        tags = self.icache._tags
+        miss_penalty = self.timing.icache_miss_penalty
+        hits = 0
+        misses = 0
+        for index, tag, count in runs:
+            if tags[index] == tag:
+                hits += count
+            else:
+                tags[index] = tag
+                misses += 1
+                hits += count - 1
+                fetch_cycles += miss_penalty
+        if not ok:
+            return (0, fetch_cycles, hits, misses, mac_cycles,
+                    None, (5, block_violation))
+
+        on_commit = self.on_commit
+        executed = 0
+        exec_cycles = 0
+        arg = None
+        key2 = None
+        if generic:
+            for run_h, cyc_seq, cyc_taken, kind, address, instr in steps:
+                try:
+                    target = run_h(regs, memory, address)
+                except SimulationError as exc:
+                    arg = (4, str(exc))
+                    break
+                executed += 1
+                exec_cycles += cyc_seq if target is None else cyc_taken
+                if on_commit is not None:
+                    on_commit(address, instr)
+                if target == -1:  # engine.HALT
+                    arg = (2, None)
+                    break
+                if mmio.exit_code is not None:
+                    arg = (3, None)
+                    break
+                if kind == 2:  # KIND_CTI
+                    key2 = (address, target if target is not None
+                            else fallthrough_pc)
+                    break
+        else:
+            for run_h, cyc_seq, cyc_taken, kind, address, instr in steps:
+                try:
+                    target = run_h(regs, memory, address)
+                except SimulationError as exc:
+                    arg = (4, str(exc))
+                    break
+                executed += 1
+                if kind == 0:          # inert: target is always None
+                    exec_cycles += cyc_seq
+                    continue
+                if kind == 1:          # store: may have set exit
+                    exec_cycles += cyc_seq
+                    if mmio.exit_code is not None:
+                        arg = (3, None)
+                        break
+                    continue
+                if kind == 2:          # CTI: always ends the block
+                    if target is None:
+                        exec_cycles += cyc_seq
+                        key2 = (address, fallthrough_pc)
+                    else:
+                        exec_cycles += cyc_taken
+                        key2 = (address, target)
+                    break
+                exec_cycles += cyc_seq  # halt
+                arg = (2, None)
+                break
+        cycles = fetch_cycles if fetch_cycles > exec_cycles else exec_cycles
+        if arg is None and key2 is None:
+            # ran off the payload end: decode-failure trap or sequential
+            # fall-through into the next block
+            if block_trap is not None:
+                arg = (4, block_trap)
+            else:
+                key2 = (fallthrough_prev, fallthrough_pc)
+        return (executed, cycles, hits, misses, mac_cycles, key2, arg)
 
 
 def run_image(image: SofiaImage, keys: DeviceKeys,

@@ -48,6 +48,13 @@ class VanillaMachine:
         self.state = CPUState.reset(executable.entry)
         self._decoded: Dict[int, Instruction] = {}
         self._predecoded: Dict[int, PredecodedStep] = {}
+        #: fused-superblock run handlers (repro.sim.fused), keyed by the
+        #: run's start PC; ``_fused_cover`` maps every covered address back
+        #: to its start PCs so one code write invalidates exactly the runs
+        #: that compiled that word (mirroring the per-PC predecode pops)
+        self._fused_runs: Dict[int, tuple] = {}
+        self._fused_hook_runs: Dict[int, tuple] = {}
+        self._fused_cover: Dict[int, set] = {}
         #: optional tracing hook, called as on_commit(pc, instr) after each
         #: committed instruction (see repro.sim.trace); fires identically
         #: under both engines
@@ -62,11 +69,21 @@ class VanillaMachine:
     def _on_code_write(self, address: int) -> None:
         self._decoded.pop(address, None)
         self._predecoded.pop(address, None)
+        starts = self._fused_cover.pop(address, None)
+        if starts:
+            fused_runs = self._fused_runs
+            hook_runs = self._fused_hook_runs
+            for start in starts:
+                fused_runs.pop(start, None)
+                hook_runs.pop(start, None)
 
     def _flush_decoded(self) -> None:
         """Drop every cached decode/predecode (coupled-word encodings)."""
         self._decoded.clear()
         self._predecoded.clear()
+        self._fused_runs.clear()
+        self._fused_hook_runs.clear()
+        self._fused_cover.clear()
 
     def _fetch_decode(self, pc: int) -> Instruction:
         cached = self._decoded.get(pc)
@@ -81,6 +98,8 @@ class VanillaMachine:
         """Run to completion (halt/exit/trap) or the instruction budget."""
         if self.engine == "reference":
             result = self._run_reference(max_instructions)
+        elif self.engine == "fused":
+            result = self._run_fused(max_instructions)
         else:
             result = self._run_predecoded(max_instructions)
         obs = self._obs
@@ -223,6 +242,111 @@ class VanillaMachine:
                     break
                 pc = target
                 state.pc = pc
+        icache.stats.hits += hits
+        icache.stats.misses += misses
+        return ExecutionResult(status=status, cycles=cycles,
+                               instructions=executed,
+                               exit_code=mmio.exit_code, mmio=mmio,
+                               trap_reason=trap_reason,
+                               icache=icache.stats)
+
+    def _run_fused(self, max_instructions: int) -> ExecutionResult:
+        """The fused-superblock loop: one compiled call per straight run.
+
+        Bit-identical to :meth:`_run_predecoded`: each straight-line chain
+        up to the next CTI/store/halt is source-compiled into one handler
+        (:func:`repro.sim.fused.compile_vanilla_run`) cached per start PC
+        and invalidated by the same code-write listener that pops
+        predecoded steps.  Two predecoded behaviours are delegated rather
+        than re-implemented, both by running the predecoded loop itself so
+        equivalence is by construction: a resumed run whose exit register
+        is already written (the per-instruction ``force_exit`` poll), and
+        the tail of a run that would overshoot the instruction budget
+        (the predecoded loop is per-instruction exact; fused runs only
+        whole runs).
+        """
+        memory = self.memory
+        mmio = memory.mmio
+        if mmio.exit_code is not None:
+            return self._run_predecoded(max_instructions)
+        from .fused import compile_vanilla_run
+        state = self.state
+        icache = self.icache
+        regs = state.regs
+        ld = memory.load
+        st = memory.store
+        ram = memory.ram
+        on_commit = self.on_commit
+        hooked = on_commit is not None
+        runs = self._fused_hook_runs if hooked else self._fused_runs
+        get_run = runs.get
+        cover = self._fused_cover
+        tags = icache._tags
+        obs = self._obs
+        hits = 0
+        misses = 0
+        cycles = 0
+        executed = 0
+        status = Status.LIMIT
+        trap_reason = ""
+        pc = state.pc
+        while executed < max_instructions:
+            entry = get_run(pc)
+            if entry is None:
+                fn, n_max, covered = compile_vanilla_run(self, pc,
+                                                         hooked=hooked)
+                entry = (fn, n_max)
+                runs[pc] = entry
+                for address in covered:
+                    starts = cover.get(address)
+                    if starts is None:
+                        cover[address] = starts = set()
+                    starts.add(pc)
+                if obs is not None:
+                    obs.count("sim.fused_compile")
+            fn, n_max = entry
+            if fn is None:
+                # the first fetch/decode of this run faults every time;
+                # n_max carries the (deterministic) trap reason
+                status, trap_reason = Status.TRAP, n_max
+                break
+            if n_max > max_instructions - executed:
+                # budget boundary inside the run: hand the exact
+                # per-instruction tail to the predecoded loop
+                icache.stats.hits += hits
+                icache.stats.misses += misses
+                state.pc = pc
+                tail = self._run_predecoded(max_instructions - executed)
+                return ExecutionResult(
+                    status=tail.status, cycles=cycles + tail.cycles,
+                    instructions=executed + tail.instructions,
+                    exit_code=mmio.exit_code, mmio=mmio,
+                    trap_reason=tail.trap_reason, icache=icache.stats)
+            if hooked:
+                n, cyc, h, mr, code, arg = fn(regs, ld, st, mmio, tags,
+                                              ram, on_commit)
+            else:
+                n, cyc, h, mr, code, arg = fn(regs, ld, st, mmio, tags,
+                                              ram)
+            executed += n
+            cycles += cyc
+            hits += h
+            misses += mr
+            if code == 1:
+                pc = arg
+                state.pc = pc
+                continue
+            if code == 2:
+                status = Status.HALT
+                state.pc = pc + 4 * (n - 1)
+            elif code == 3:
+                status = Status.EXIT
+                state.pc = pc + 4 * (n - 1)
+            else:
+                status = Status.TRAP
+                trap_reason = arg
+                state.pc = pc + 4 * n
+            break
         icache.stats.hits += hits
         icache.stats.misses += misses
         return ExecutionResult(status=status, cycles=cycles,

@@ -1,8 +1,8 @@
 """Shared fixtures for the simulator test suites.
 
 The ``engine`` fixture parametrizes a test over every execution engine
-(:data:`repro.sim.engine.ENGINES` — reference, predecoded, batch) so
-behavioural suites exercise each one without hand-rolled loops; a new
+(:data:`repro.sim.engine.ENGINES` — predecoded, reference, batch, fused)
+so behavioural suites exercise each one without hand-rolled loops; a new
 engine added to the registry is picked up by every migrated test
 automatically.
 """

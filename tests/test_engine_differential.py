@@ -33,7 +33,7 @@ from repro.isa.program import CODE_BASE, Executable
 from repro.sim import (DEFAULT_TIMING, LEON3_MINIMAL_TIMING, SofiaMachine,
                        VanillaMachine, run_executable, run_image)
 from repro.sim.engine import ENGINES, resolve_engine
-from repro.transform import transform
+from repro.transform import profile_grid, transform
 from repro.workloads import make_workload, workload_names
 
 from test_equivalence import assembly_programs
@@ -168,7 +168,8 @@ class TestEngineSelection:
         with pytest.raises(ValueError):
             resolve_engine("turbo")
         assert resolve_engine(None) == "predecoded"
-        assert set(ENGINES) == {"predecoded", "reference", "batch"}
+        assert set(ENGINES) == {"predecoded", "reference", "batch",
+                                "fused"}
 
     def test_facade_engine_kwarg(self):
         from repro import core
@@ -199,13 +200,14 @@ class TestRandomWordDifferential:
         words.append(encode(parse("main: halt\n").instructions[0]))
         exe = _word_program(words)
         ref = VanillaMachine(exe, engine="reference")
-        pre = VanillaMachine(exe, engine="predecoded")
         ref_result = ref.run(max_instructions=3_000)
-        pre_result = pre.run(max_instructions=3_000)
-        assert result_fields(ref_result) == result_fields(pre_result)
-        assert ref.state.regs == pre.state.regs
-        assert ref.state.pc == pre.state.pc
-        assert ref.memory.ram == pre.memory.ram
+        for engine in ("predecoded", "fused"):
+            other = VanillaMachine(exe, engine=engine)
+            other_result = other.run(max_instructions=3_000)
+            assert result_fields(ref_result) == result_fields(other_result)
+            assert ref.state.regs == other.state.regs
+            assert ref.state.pc == other.state.pc
+            assert ref.memory.ram == other.memory.ram
 
 
 class TestRandomProgramDifferential:
@@ -218,11 +220,12 @@ class TestRandomProgramDifferential:
         program = parse(source)
         exe = assemble(program)
         ref = VanillaMachine(exe, engine="reference")
-        pre = VanillaMachine(exe, engine="predecoded")
-        assert (result_fields(ref.run(200_000))
-                == result_fields(pre.run(200_000)))
-        assert ref.state.regs == pre.state.regs
-        assert ref.memory.ram == pre.memory.ram
+        ref_fields = result_fields(ref.run(200_000))
+        for engine in ("predecoded", "fused"):
+            other = VanillaMachine(exe, engine=engine)
+            assert ref_fields == result_fields(other.run(200_000))
+            assert ref.state.regs == other.state.regs
+            assert ref.memory.ram == other.memory.ram
 
     @given(source=assembly_programs(), nonce=st.integers(0, 0xFFFF))
     @settings(max_examples=10, deadline=None)
@@ -230,11 +233,12 @@ class TestRandomProgramDifferential:
         program = parse(source)
         image = transform(program, KEYS, nonce=nonce)
         ref = SofiaMachine(image, KEYS, engine="reference")
-        pre = SofiaMachine(image, KEYS, engine="predecoded")
-        assert (result_fields(ref.run(400_000))
-                == result_fields(pre.run(400_000)))
-        assert ref.state.regs == pre.state.regs
-        assert ref.prev_pc == pre.prev_pc
+        ref_fields = result_fields(ref.run(400_000))
+        for engine in ("predecoded", "fused"):
+            other = SofiaMachine(image, KEYS, engine=engine)
+            assert ref_fields == result_fields(other.run(400_000))
+            assert ref.state.regs == other.state.regs
+            assert ref.prev_pc == other.prev_pc
 
 
 # --- cache-invalidation and plumbing parity -------------------------------
@@ -315,3 +319,74 @@ class TestRenonceRotationLockstep:
         twice = rotate_nonce(rotate_nonce(image, KEYS), KEYS)
         assert_lockstep(
             lambda engine: SofiaMachine(twice, KEYS, engine=engine))
+
+
+class TestProfileGridLockstep:
+    """Every E17 design point (2 ciphers x 3 seal widths x both renonce
+    policies) holds the fused engine to the same per-commit lockstep
+    contract as predecoded and the reference oracle — the fused cycle
+    constants are specialized per profile (seal geometry changes fetch
+    slots and block layout), so one point passing says nothing about the
+    others."""
+
+    @pytest.mark.parametrize(
+        "profile", profile_grid(),
+        ids=lambda p: f"{p.cipher}-{32 * p.mac_words}b-{p.renonce}")
+    def test_grid_point_lockstep(self, profile):
+        workload, _, _ = build("rle")
+        program = workload.compile().program
+        image = transform(program, KEYS, nonce=NONCE, profile=profile)
+        keys = KEYS.for_profile(profile)
+        pre = SofiaMachine(image, keys, engine="predecoded")
+        pre_result, pre_events = lockstep_trace(pre)
+        for engine in ("reference", "fused"):
+            other = SofiaMachine(image, keys, engine=engine)
+            other_result, other_events = lockstep_trace(other)
+            assert other_events == pre_events
+            assert result_fields(other_result) == result_fields(pre_result)
+            assert other.state.pc == pre.state.pc
+            assert other.prev_pc == pre.prev_pc
+
+
+MID_BLOCK_TRAP = """
+main:
+    li a1, 1
+    li a2, 2
+    li a3, 3
+    li t0, 0x000F0000
+    lw t1, {offset}(t0)
+    addi a3, a3, 40
+    halt
+"""
+
+
+class TestMidRunTrapEquivalence:
+    """A bus error / misaligned access in the middle of a fused run must
+    leave registers, memory, cycles and the I-cache exactly as k stepped
+    iterations would: the committed prefix (a1..a3 writes) stands, the
+    instruction after the faulting load never executes."""
+
+    @pytest.mark.parametrize("offset,reason", [
+        (0, "bus error"),            # below data RAM, past code
+        (2, "misaligned load"),      # rejects the fused fast-path guard
+    ])
+    def test_vanilla_and_sofia_trap_prefix(self, offset, reason):
+        source = MID_BLOCK_TRAP.format(offset=offset)
+        program = parse(source)
+        exe = assemble(program)
+        image = transform(program, KEYS, nonce=NONCE)
+        for make in (lambda e: VanillaMachine(exe, engine=e),
+                     lambda e: SofiaMachine(image, KEYS, engine=e)):
+            pre = make("predecoded")
+            pre_result = pre.run(10_000)
+            assert pre_result.status.name == "TRAP"
+            assert reason in pre_result.trap_reason
+            assert pre.state.regs[5:8] == [1, 2, 3]  # a1, a2, a3 (r5-r7)
+            for engine in ("reference", "fused"):
+                other = make(engine)
+                other_result = other.run(10_000)
+                assert (result_fields(other_result)
+                        == result_fields(pre_result))
+                assert other.state.regs == pre.state.regs
+                assert other.state.pc == pre.state.pc
+                assert other.memory.ram == pre.memory.ram

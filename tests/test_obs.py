@@ -213,6 +213,63 @@ class TestTelemetry:
                 pass
 
 
+class TestFusedTelemetry:
+    """The fused engine honors the observability invariants: telemetry
+    never changes an exported byte, per-engine throughput derives from
+    the counters, and cold superblock compiles are visible."""
+
+    def test_fused_export_identical_telemetry_on_off(self, tmp_path):
+        from repro.attacksynth import run_attacksynth
+        exports, counters = {}, None
+        for label in ("off", "on"):
+            export = tmp_path / f"{label}.json"
+            telemetry = Telemetry() if label == "on" else None
+            with obs.campaign(telemetry, "attacksynth", {"label": label}):
+                run_attacksynth(1, seed=0x0B5, per_program=2,
+                                key_seed=0x50F1A, engine="fused",
+                                export_path=str(export),
+                                telemetry=telemetry)
+            exports[label] = export.read_bytes()
+            if telemetry is not None:
+                counters = dict(telemetry.metrics.counters)
+        assert exports["on"] == exports["off"], \
+            "fused attacksynth export differs with telemetry attached"
+        assert counters["sim.runs.fused"] > 0
+        assert counters["sim.instructions.fused"] > 0
+
+    def test_fused_compile_counter_fires_on_hot_blocks(self):
+        from repro.crypto.keys import DeviceKeys
+        from repro.sim import SofiaMachine
+        from repro.transform import transform
+        from repro.workloads import make_workload
+        workload = make_workload("crc32", "tiny")
+        keys = DeviceKeys.from_seed(1)
+        image = transform(workload.compile().program, keys, nonce=0x2016)
+        telemetry = Telemetry()
+        with obs.campaign(telemetry, "demo", {}):
+            machine = SofiaMachine(image, keys, engine="fused")
+            result = machine.run(2_000_000)
+        assert result.ok
+        counters = telemetry.metrics.counters
+        # crc32's inner loop crosses the hotness threshold, so at least
+        # one superblock must have been source-compiled
+        assert counters["sim.fused_compile"] > 0
+        baseline = SofiaMachine(image, keys, engine="predecoded")
+        assert baseline.run(2_000_000).instructions == result.instructions
+
+    def test_stats_derives_per_engine_throughput(self, tmp_path):
+        telemetry = Telemetry(directory=tmp_path / "tel")
+        telemetry.begin("demo", {})
+        telemetry.task_completed(
+            (100, 0.0, 0.5, {"sim.instructions.fused": 5000,
+                             "sim.vanilla.instructions.fused": 3000}), 0)
+        telemetry.finish()
+        text, problems = summarize(tmp_path / "tel")
+        assert problems == 0
+        assert "instructions/s (fused sofia, campaign wall)" in text
+        assert "instructions/s (fused vanilla, campaign wall)" in text
+
+
 class TestNoteQuiet:
     def test_note_writes_unless_quiet(self, capsys):
         obs.set_quiet(False)
